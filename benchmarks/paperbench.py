@@ -1,0 +1,37 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each ``bench_e*.py`` file regenerates one evaluation artifact of the
+thesis (see DESIGN.md's experiment index).  The pattern: a pure
+``run_*`` function produces the figures, ``benchmark.pedantic`` times one
+full run, the test asserts the paper's *shape*, and the reproduced rows
+are printed (visible with ``pytest benchmarks/ --benchmark-only -s``) and
+attached to ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def print_table(title: str, headers: typing.Sequence[str],
+                rows: typing.Sequence[typing.Sequence[object]]) -> None:
+    """Print an aligned reproduction table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(widths[i])
+                        for i, cell in enumerate(row)))
+
+
+def fraction(numerator: int, denominator: int) -> float:
+    """Safe ratio."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,80 @@
+"""A small mesh chat: the §6.2 social-networking application.
+
+Every participant registers a ``chat.inbox`` service and sends messages to
+any device in its DeviceStorage — direct neighbours or multi-hop contacts
+reached through bridges, transparently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.connection import PeerHoodConnection
+from repro.core.errors import PeerHoodError
+from repro.core.node import PeerHoodNode
+from repro.radio.channel import ConnectFault, OutOfRange
+
+#: Approximate size of one chat message on the wire.
+CHAT_MESSAGE_SIZE_BYTES = 160
+
+
+@dataclasses.dataclass(frozen=True)
+class ChatMessage:
+    """One delivered chat message."""
+
+    sender: str
+    text: str
+    received_at: float
+
+
+class ChatPeer:
+    """A chat participant: inbox service + send helper."""
+
+    SERVICE_NAME = "chat.inbox"
+
+    def __init__(self, node: PeerHoodNode):
+        self.node = node
+        self.sim = node.sim
+        self.inbox: list[ChatMessage] = []
+        node.library.register_service(self.SERVICE_NAME, self._on_connection)
+
+    def _on_connection(self, connection: PeerHoodConnection):
+        def serve(connection=connection):
+            while True:
+                try:
+                    payload = yield from connection.read()
+                except PeerHoodError:
+                    return
+                self.inbox.append(ChatMessage(
+                    sender=payload["from"],
+                    text=payload["text"],
+                    received_at=self.sim.now))
+        return serve()
+
+    def reachable_peers(self) -> list[str]:
+        """Addresses of devices currently advertising a chat inbox."""
+        return [device.address
+                for device, service in
+                self.node.library.get_service_list(self.SERVICE_NAME)]
+
+    def send(self, peer_address: str, text: str,
+             retries: int | None = None) -> typing.Generator:
+        """Process generator: deliver one message; returns True on success.
+
+        Opens a connection per message (chat sessions in the thesis' demo
+        apps are short-lived) and closes it after sending.
+        """
+        try:
+            connection = yield from self.node.library.connect(
+                peer_address, self.SERVICE_NAME,
+                retries=retries if retries is not None else
+                self.node.config.connect_retries)
+        except (ConnectFault, OutOfRange, PeerHoodError):
+            return False
+        connection.write({"from": self.node.node_id, "text": text},
+                         CHAT_MESSAGE_SIZE_BYTES)
+        # Let the frame clear the chain before closing.
+        yield self.sim.timeout(1.0)
+        connection.close("chat message sent")
+        return True

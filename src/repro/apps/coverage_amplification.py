@@ -1,0 +1,121 @@
+"""Coverage amplification: the Fig. 6.1 tunnel application (§6.2).
+
+"One server is in the outside of the tunnel and provided with GPRS
+antenna.  Inside the tunnel we proceed to install several Bluetooth
+devices making function of connection bridges.  Once the mobile phone
+wants to access to the mobile services it will use a PeerHood application
+to connect to the server and access to the whole GPRS network."
+
+The gateway registers a ``gprs.gateway`` service; the phone, deep in the
+tunnel, reaches it through the Bluetooth bridge chain that dynamic device
+discovery found, and issues request/response exchanges as if it had
+cellular coverage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.connection import PeerHoodConnection
+from repro.core.errors import PeerHoodError
+from repro.core.node import PeerHoodNode
+from repro.radio.channel import ConnectFault, OutOfRange
+
+#: Size of one upstream request and one downstream response, bytes.
+REQUEST_SIZE_BYTES = 256
+RESPONSE_SIZE_BYTES = 2_048
+
+
+@dataclasses.dataclass
+class AmplificationOutcome:
+    """Result of one phone session through the tunnel."""
+
+    connected: bool
+    hops: int
+    requests_sent: int
+    responses_received: int
+    connect_time_s: float
+    mean_round_trip_s: float | None
+    error: str = ""
+
+
+class GprsGateway:
+    """The tunnel-mouth server bridging PeerHood to the cellular network."""
+
+    SERVICE_NAME = "gprs.gateway"
+
+    def __init__(self, node: PeerHoodNode,
+                 upstream_latency_s: float = 0.8):
+        self.node = node
+        self.sim = node.sim
+        #: Simulated round trip into the carrier network per request.
+        self.upstream_latency_s = upstream_latency_s
+        self.requests_served = 0
+        node.library.register_service(self.SERVICE_NAME, self._on_connection)
+
+    def _on_connection(self, connection: PeerHoodConnection):
+        def serve(connection=connection):
+            while True:
+                try:
+                    request = yield from connection.read()
+                except PeerHoodError:
+                    return
+                yield self.sim.timeout(self.upstream_latency_s)
+                self.requests_served += 1
+                connection.write({"reply_to": request},
+                                 RESPONSE_SIZE_BYTES)
+        return serve()
+
+
+class TunnelPhone:
+    """The phone inside the tunnel using the gateway via the mesh."""
+
+    def __init__(self, node: PeerHoodNode, request_count: int = 5):
+        if request_count < 1:
+            raise ValueError(f"request count must be >= 1: {request_count}")
+        self.node = node
+        self.sim = node.sim
+        self.request_count = request_count
+
+    def run(self, gateway: GprsGateway,
+            retries: int | None = None) -> typing.Generator:
+        """Process generator: one session; returns the outcome."""
+        entry = self.node.daemon.storage.get(gateway.node.address)
+        hops = entry.jump + 1 if entry is not None else 0
+        started = self.sim.now
+        try:
+            connection = yield from self.node.library.connect(
+                gateway.node.address, GprsGateway.SERVICE_NAME,
+                retries=retries if retries is not None else
+                self.node.config.connect_retries)
+        except (ConnectFault, OutOfRange, PeerHoodError) as error:
+            return AmplificationOutcome(
+                connected=False, hops=hops, requests_sent=0,
+                responses_received=0,
+                connect_time_s=self.sim.now - started,
+                mean_round_trip_s=None, error=str(error))
+        connect_time = self.sim.now - started
+        round_trips: list[float] = []
+        responses = 0
+        for index in range(self.request_count):
+            sent_at = self.sim.now
+            connection.write({"request": index}, REQUEST_SIZE_BYTES)
+            try:
+                yield from connection.read()
+            except PeerHoodError as error:
+                connection.close("tunnel session aborted")
+                return AmplificationOutcome(
+                    connected=True, hops=hops, requests_sent=index + 1,
+                    responses_received=responses,
+                    connect_time_s=connect_time,
+                    mean_round_trip_s=(sum(round_trips) / len(round_trips)
+                                       if round_trips else None),
+                    error=str(error))
+            responses += 1
+            round_trips.append(self.sim.now - sent_at)
+        connection.close("tunnel session complete")
+        return AmplificationOutcome(
+            connected=True, hops=hops, requests_sent=self.request_count,
+            responses_received=responses, connect_time_s=connect_time,
+            mean_round_trip_s=sum(round_trips) / len(round_trips))

@@ -1,0 +1,101 @@
+"""The §4.3 bridge performance test application.
+
+"The function of the client is to send a message 20 times with 1 second of
+intervals to the server through the bridge and server will just print the
+message in the screen."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.connection import PeerHoodConnection
+from repro.core.errors import PeerHoodError
+from repro.core.node import PeerHoodNode
+from repro.radio.channel import ConnectFault, OutOfRange
+
+#: Payload size of one test message, bytes.
+MESSAGE_SIZE_BYTES = 64
+
+
+@dataclasses.dataclass
+class MessageTestOutcome:
+    """Result of one client run."""
+
+    connected: bool
+    connect_time_s: float
+    messages_sent: int
+    messages_delivered: int
+    first_delivery_delay_s: float | None
+    error: str = ""
+
+
+class MessageTestServer:
+    """Registers the ``message.print`` service and records arrivals."""
+
+    SERVICE_NAME = "message.print"
+
+    def __init__(self, node: PeerHoodNode):
+        self.node = node
+        self.sim = node.sim
+        self.printed: list[tuple[float, object]] = []
+        node.library.register_service(self.SERVICE_NAME, self._on_connection)
+
+    def _on_connection(self, connection: PeerHoodConnection):
+        def serve(connection=connection):
+            while True:
+                try:
+                    message = yield from connection.read()
+                except PeerHoodError:
+                    return
+                self.printed.append((self.sim.now, message))
+        return serve()
+
+
+class MessageTestClient:
+    """Connects and sends ``count`` messages at fixed intervals."""
+
+    def __init__(self, node: PeerHoodNode, count: int = 20,
+                 interval_s: float = 1.0):
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.node = node
+        self.sim = node.sim
+        self.count = count
+        self.interval_s = interval_s
+
+    def run(self, server: MessageTestServer,
+            retries: int | None = None) -> typing.Generator:
+        """Process generator: one full client run; returns the outcome."""
+        started = self.sim.now
+        try:
+            connection = yield from self.node.library.connect(
+                server.node.address, MessageTestServer.SERVICE_NAME,
+                retries=retries if retries is not None else 0)
+        except (ConnectFault, OutOfRange, PeerHoodError) as error:
+            return MessageTestOutcome(
+                connected=False,
+                connect_time_s=self.sim.now - started,
+                messages_sent=0,
+                messages_delivered=0,
+                first_delivery_delay_s=None,
+                error=str(error))
+        connect_time = self.sim.now - started
+        already_printed = len(server.printed)
+        first_send = self.sim.now
+        for index in range(self.count):
+            connection.write(f"message-{index}", MESSAGE_SIZE_BYTES)
+            yield self.sim.timeout(self.interval_s)
+        # Allow the last frame to traverse the chain.
+        yield self.sim.timeout(2.0)
+        delivered = len(server.printed) - already_printed
+        deliveries = server.printed[already_printed:]
+        first_delay = (deliveries[0][0] - first_send) if deliveries else None
+        connection.close("test complete")
+        return MessageTestOutcome(
+            connected=True,
+            connect_time_s=connect_time,
+            messages_sent=self.count,
+            messages_delivered=delivered,
+            first_delivery_delay_s=first_delay)

@@ -1,0 +1,221 @@
+"""The §5.3 picture-analysis task migration application.
+
+"The server is simulating an image analyse server which receives a big
+size photo from any client, the people from the photo will be recognized
+and names are added in the same picture and sent back to the client."
+
+The client uploads the photo as a package count followed by the packages
+(exactly the paper's protocol: "First the client will send the size of
+photo (package numbers) and then each data package"), flags the end of
+sending (§5.3's ``sending`` flag) and waits for the result on either the
+original connection (small/medium jobs) or its reply service (the server
+reconnects through the mesh after a break — Fig. 5.10's right branch).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.connection import PeerHoodConnection
+from repro.core.errors import PeerHoodError
+from repro.core.node import PeerHoodNode
+from repro.core.result_routing import (
+    ResultDeliveryFailed,
+    ResultWaiter,
+    deliver_result,
+)
+from repro.radio.channel import ConnectFault, OutOfRange
+
+#: Bytes per upload package (the paper sweeps the package *count*).
+PACKAGE_SIZE_BYTES = 4_096
+
+#: Result picture size (annotated photo sent back).
+RESULT_SIZE_BYTES = 16_384
+
+
+@dataclasses.dataclass
+class PictureJobResult:
+    """What one migration attempt produced, as the client saw it."""
+
+    uploaded: bool
+    packages_sent: int
+    result_received: bool
+    result_mode: str  # "direct", "reconnect" or ""
+    upload_time_s: float
+    total_time_s: float
+    error: str = ""
+
+
+class PictureAnalysisServer:
+    """The Fig. 5.10 server: receive, process, send back (reconnecting
+    through the routing table when the connection broke meanwhile)."""
+
+    SERVICE_NAME = "picture.analyse"
+
+    def __init__(self, node: PeerHoodNode,
+                 processing_time_per_package_s: float = 0.5,
+                 delivery_deadline_s: float = 240.0):
+        self.node = node
+        self.sim = node.sim
+        self.processing_time_per_package_s = processing_time_per_package_s
+        self.delivery_deadline_s = delivery_deadline_s
+        self.jobs_received = 0
+        self.jobs_completed = 0
+        self.uploads_broken = 0
+        self.delivery_modes: list[str] = []
+        node.library.register_service(self.SERVICE_NAME, self._on_connection)
+
+    #: Give up on a stalled upload after this long without completion.
+    UPLOAD_DEADLINE_S = 180.0
+
+    def _on_connection(self, connection: PeerHoodConnection):
+        return self._serve(connection)
+
+    def _read_upload(self,
+                     connection: PeerHoodConnection) -> typing.Generator:
+        package_count = yield from connection.read()
+        packages = yield from connection.read_n(int(package_count))
+        return packages
+
+    def _serve(self, connection: PeerHoodConnection) -> typing.Generator:
+        reader = self.sim.spawn(
+            self._read_upload(connection),
+            name=f"picture-upload:{self.node.node_id}")
+        deadline = self.sim.timeout(self.UPLOAD_DEADLINE_S)
+        try:
+            outcome = yield self.sim.any_of([reader, deadline])
+        except PeerHoodError:
+            # "With a huge number of data packages the connection is
+            # broken during the data packages transmission" — nothing to
+            # process.
+            self.uploads_broken += 1
+            return
+        if reader not in outcome:
+            # Upload stalled past the deadline on a dead transport.
+            self.uploads_broken += 1
+            return
+        packages = outcome[reader]
+        self.jobs_received += 1
+        yield self.sim.timeout(
+            self.processing_time_per_package_s * len(packages))
+        result = {"annotated": True, "packages": len(packages)}
+        try:
+            mode = yield from deliver_result(
+                self.node.library, connection, result, RESULT_SIZE_BYTES,
+                deadline_s=self.delivery_deadline_s)
+        except ResultDeliveryFailed:
+            self.delivery_modes.append("failed")
+            return
+        self.jobs_completed += 1
+        self.delivery_modes.append(mode)
+
+
+class PictureAnalysisClient:
+    """Uploads a photo, then sleeps waiting for the analysed result."""
+
+    def __init__(self, node: PeerHoodNode, package_count: int = 10,
+                 reply_service: str | None = None):
+        if package_count < 1:
+            raise ValueError(f"package count must be >= 1: {package_count}")
+        self.node = node
+        self.sim = node.sim
+        self.package_count = package_count
+        self.reply_service = (reply_service
+                              or f"picture.reply.{node.node_id}")
+
+    def run(self, server: PictureAnalysisServer,
+            result_deadline_s: float = 300.0,
+            retries: int | None = None,
+            with_handover: bool = False) -> typing.Generator:
+        """Process generator: one full migration; returns the job result.
+
+        ``with_handover`` attaches a HandoverThread for the upload phase
+        (the paper's case 3: "Before the definitive connection loss
+        Handover thread will try to restablish the connection though the
+        neighbor node").
+        """
+        started = self.sim.now
+        waiter = ResultWaiter(self.node.library, self.reply_service)
+        try:
+            connection = yield from self.node.library.connect(
+                server.node.address, PictureAnalysisServer.SERVICE_NAME,
+                reply_service=self.reply_service,
+                retries=retries if retries is not None else
+                self.node.config.connect_retries)
+        except (ConnectFault, OutOfRange, PeerHoodError) as error:
+            return PictureJobResult(
+                uploaded=False, packages_sent=0, result_received=False,
+                result_mode="", upload_time_s=0.0,
+                total_time_s=self.sim.now - started, error=str(error))
+        handover_thread = None
+        if with_handover:
+            from repro.core.handover import HandoverThread
+            handover_thread = HandoverThread(
+                self.node.library, connection).start()
+        upload_start = self.sim.now
+        connection.write(self.package_count, 8)
+        # Blocking-write pacing: each package occupies the radio for its
+        # transmit time, like the real stack's sequential socket writes.
+        package_air_time = self.node.technologies[0].transmit_time(
+            PACKAGE_SIZE_BYTES)
+        for index in range(self.package_count):
+            connection.write({"package": index}, PACKAGE_SIZE_BYTES)
+            yield self.sim.timeout(package_air_time)
+        # §5.3: flag the end of data sending so the HandoverThread knows
+        # there is "no need for the reconnection" while we idle.
+        connection.set_sending(False)
+        upload_time = self.sim.now - upload_start
+        result_payload = yield from self._await_result(
+            connection, waiter, result_deadline_s)
+        if handover_thread is not None:
+            handover_thread.stop()
+        received = result_payload is not None
+        total = self.sim.now - started
+        return PictureJobResult(
+            uploaded=True,
+            packages_sent=self.package_count,
+            result_received=received,
+            result_mode=self._delivery_mode(server) if received else "",
+            upload_time_s=upload_time,
+            total_time_s=total)
+
+    def _await_result(self, connection: PeerHoodConnection,
+                      waiter: ResultWaiter,
+                      deadline_s: float) -> typing.Generator:
+        """Wait on the original connection *and* the reply service.
+
+        The paper's three §5.3 regimes appear here: small jobs answer on
+        the original connection; medium jobs answer through a server
+        reconnect; huge jobs lose the upload and nothing ever arrives.
+        A dead original connection does not end the wait — the reconnect
+        path may still deliver.
+        """
+        direct_read = self.sim.spawn(
+            self._read_quietly(connection),
+            name=f"picture-client-read:{self.node.node_id}")
+        deadline = self.sim.timeout(deadline_s)
+        waiting = [direct_read, waiter.result_event, deadline]
+        while True:
+            outcome = yield self.sim.any_of(waiting)
+            if deadline in outcome:
+                return None
+            for event in list(waiting):
+                if event not in outcome:
+                    continue
+                value = outcome[event]
+                if value is not None:
+                    return value
+                waiting.remove(event)  # broke with nothing; keep waiting
+
+    @staticmethod
+    def _read_quietly(connection: PeerHoodConnection) -> typing.Generator:
+        try:
+            payload = yield from connection.read()
+        except PeerHoodError:
+            return None
+        return payload
+
+    @staticmethod
+    def _delivery_mode(server: PictureAnalysisServer) -> str:
+        return server.delivery_modes[-1] if server.delivery_modes else ""

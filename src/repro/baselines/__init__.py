@@ -1,0 +1,26 @@
+"""Baselines the paper argues against.
+
+* :mod:`~repro.baselines.gnutella` — TTL-limited query flooding (§3.2):
+  full network reach, but message volume grows with every search;
+* :mod:`~repro.baselines.previous_peerhood` — the pre-thesis discovery
+  variants (§3.1): direct-only inquiry, and one-level neighbourhood
+  fetching (two-jump vision), both of which leave parts of the network
+  invisible (Fig. 3.3's coverage exclusion);
+* :mod:`~repro.baselines.no_handover` — connections without the
+  HandoverThread, the Ch. 5 control case.
+"""
+
+from repro.baselines.gnutella import GnutellaNetwork, GnutellaNode
+from repro.baselines.no_handover import run_plain_connection
+from repro.baselines.previous_peerhood import (
+    DirectOnlyDiscovery,
+    TwoJumpDiscovery,
+)
+
+__all__ = [
+    "DirectOnlyDiscovery",
+    "GnutellaNetwork",
+    "GnutellaNode",
+    "TwoJumpDiscovery",
+    "run_plain_connection",
+]

@@ -1,0 +1,84 @@
+"""The pre-thesis PeerHood discovery variants (§3.1).
+
+* :class:`DirectOnlyDiscovery` — the original protocol: "interact only
+  with direct neighbour devices inside the inquiry coverage";
+* :class:`TwoJumpDiscovery` — the [2] extension: direct neighbours plus
+  their advertised neighbour lists, i.e. "the vision of device discovery
+  process is limited to two jumps".
+
+Both are *awareness oracles* evaluated on the same world geometry: the
+coverage-exclusion benchmark (E5) compares what fraction of the network
+each scheme can ever see, independent of scan timing — which isolates the
+structural limitation the thesis describes from the stochastic misses the
+full stack also has.
+"""
+
+from __future__ import annotations
+
+from repro.radio.technologies import Technology
+from repro.radio.world import World
+
+
+class DirectOnlyDiscovery:
+    """Awareness = the in-range neighbour set, nothing more."""
+
+    name = "direct-only"
+
+    def __init__(self, world: World, tech: Technology):
+        self.world = world
+        self.tech = tech
+
+    def aware_of(self, node_id: str) -> set[str]:
+        """Node ids this scheme can ever make ``node_id`` aware of."""
+        return set(self.world.neighbors(node_id, self.tech))
+
+
+class TwoJumpDiscovery:
+    """Awareness = neighbours plus the neighbours they advertise.
+
+    "The neighbourhood information fetching provides only an extra
+    coverage jump vision to the device inquiry process" (§3.1).
+    """
+
+    name = "two-jump"
+
+    def __init__(self, world: World, tech: Technology):
+        self.world = world
+        self.tech = tech
+
+    def aware_of(self, node_id: str) -> set[str]:
+        """Node ids visible within two jumps."""
+        direct = set(self.world.neighbors(node_id, self.tech))
+        second = set()
+        for neighbor_id in direct:
+            second.update(self.world.neighbors(neighbor_id, self.tech))
+        second.discard(node_id)
+        return direct | second
+
+
+class FullMeshDiscovery:
+    """The thesis' dynamic discovery as an oracle: transitive closure.
+
+    The full stack converges to exactly the connected component (Ch. 3);
+    this oracle states that fixed point for comparison, without waiting
+    for the stochastic inquiry loops.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, world: World, tech: Technology):
+        self.world = world
+        self.tech = tech
+
+    def aware_of(self, node_id: str) -> set[str]:
+        """Every node in the same connectivity component."""
+        seen = {node_id}
+        frontier = [node_id]
+        while frontier:
+            current = frontier.pop()
+            for neighbor_id in self.world.neighbors(current, self.tech):
+                if neighbor_id not in seen:
+                    seen.add(neighbor_id)
+                    frontier.append(neighbor_id)
+        seen.discard(node_id)
+        return seen

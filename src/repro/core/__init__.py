@@ -1,0 +1,63 @@
+"""PeerHood core: the paper's primary contribution.
+
+This package implements the middleware described in the thesis:
+
+* the **daemon** (§2.2.1) — per-device process owning the network plugins,
+  the :class:`~repro.core.device_storage.DeviceStorage` routing table and
+  the hidden bridge service;
+* the **library** (§2.2.2) — the application-facing API
+  (``connect``, ``get_device_list``, ``get_service_list``,
+  ``register_service``) plus the :class:`~repro.core.engine.Engine`
+  that listens for incoming connections;
+* **dynamic device discovery** (Ch. 3) — Gnutella-inspired neighbourhood
+  propagation building a whole-network routing table with per-device
+  ``bridge``/``jump``/quality/mobility metadata;
+* the **interconnection system** (Ch. 4) — the bridge service relaying
+  traffic between remote devices over multi-hop chains;
+* **task-migration support** (Ch. 5) — routing handover, service
+  reconnection and result routing.
+"""
+
+from repro.core.config import DaemonConfig, HandoverConfig, RoutingPolicy
+from repro.core.connection import PeerHoodConnection
+from repro.core.daemon import Daemon
+from repro.core.device import (
+    DeviceIdentity,
+    MobilityClass,
+    address_for,
+)
+from repro.core.device_storage import DeviceStorage, StoredDevice
+from repro.core.errors import (
+    ConnectionClosedError,
+    NoRouteError,
+    PeerHoodError,
+    ServiceNotFoundError,
+    TargetNotAvailableError,
+)
+from repro.core.fabric import Fabric
+from repro.core.library import PeerHoodLibrary
+from repro.core.node import PeerHoodNode
+from repro.core.service import ServiceRecord, ServiceRegistry
+
+__all__ = [
+    "ConnectionClosedError",
+    "Daemon",
+    "DaemonConfig",
+    "DeviceIdentity",
+    "DeviceStorage",
+    "Fabric",
+    "HandoverConfig",
+    "MobilityClass",
+    "NoRouteError",
+    "PeerHoodConnection",
+    "PeerHoodError",
+    "PeerHoodLibrary",
+    "PeerHoodNode",
+    "RoutingPolicy",
+    "ServiceNotFoundError",
+    "ServiceRecord",
+    "ServiceRegistry",
+    "StoredDevice",
+    "TargetNotAvailableError",
+    "address_for",
+]

@@ -1,0 +1,152 @@
+"""Configuration objects for the daemon, routing policy and handover.
+
+Defaults reproduce the paper's constants: quality threshold 230
+(Figs. 3.9/5.8), three consecutive low readings before handover (§5.2.1),
+service-checking interval for energy saving (§3.5), and the route
+preference order jump → mobility → quality (Fig. 3.13).  The ablation
+benchmarks flip individual flags here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.radio.quality import PAPER_LOW_QUALITY_THRESHOLD
+
+
+@dataclasses.dataclass
+class RoutingPolicy:
+    """Route-selection knobs used by ``AnalyzeNeighbourhoodDevices``.
+
+    Attributes
+    ----------
+    quality_threshold:
+        Minimum acceptable per-link quality (Fig. 3.9's 230).
+    use_quality_threshold:
+        Apply the per-link rule when breaking quality ties.  Off, the
+        comparison uses raw sums only (the ablation of Fig. 3.9).
+    use_mobility:
+        Prefer routes whose first hop is less mobile (§3.4.3's
+        static-backbone argument).  Off, mobility is ignored.
+    quality_first:
+        Ablation: rank routes by quality before jump count, instead of the
+        paper's jump-first order.
+    max_jump:
+        Discard routes longer than this many jumps (§3.4.2 recommends a
+        limit for mobile devices because notification delay grows with
+        hops).
+    prefer_static_bridges:
+        §3.4.3: "we will always give preference to static terminals as a
+        bridge" — when choosing the next hop for an outgoing bridge
+        connection, static candidates win ties.
+    """
+
+    quality_threshold: int = PAPER_LOW_QUALITY_THRESHOLD
+    use_quality_threshold: bool = True
+    use_mobility: bool = True
+    quality_first: bool = False
+    max_jump: int = 8
+    prefer_static_bridges: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.quality_threshold <= 255:
+            raise ValueError(
+                f"quality threshold out of range: {self.quality_threshold}")
+        if self.max_jump < 0:
+            raise ValueError(f"negative max jump: {self.max_jump}")
+
+
+@dataclasses.dataclass
+class HandoverConfig:
+    """Knobs of the HandoverThread (§5.2.1, Fig. 5.5).
+
+    Attributes
+    ----------
+    low_quality_threshold:
+        "Once this value is smaller than threshold 230, the signallow
+        account increased."
+    low_count_limit:
+        "And when this account is bigger than three, the HandoverThread
+        will proceed to change the connection to the second route."
+    monitor_interval_s:
+        Link-quality sampling period (the paper decays 1 unit per second
+        and counts per reading, implying a 1 s cadence).
+    route_refresh_interval_s:
+        How often state 0 re-derives the best alternative route.
+    max_handover_attempts:
+        After this many failed routing handovers the thread falls back to
+        service reconnection (§5.2.2: "after various attempts").
+    connect_retries:
+        Establishment retries for the replacement connection (§4.3
+        recommends attempt repetition).
+    respect_sending_flag:
+        §5.3: when the application has finished sending (``sending`` is
+        False) the thread "will be aware about the no need for the
+        reconnection and avoid the routing handover or service
+        reconnection".
+    """
+
+    low_quality_threshold: int = PAPER_LOW_QUALITY_THRESHOLD
+    low_count_limit: int = 3
+    monitor_interval_s: float = 1.0
+    route_refresh_interval_s: float = 5.0
+    max_handover_attempts: int = 2
+    connect_retries: int = 1
+    respect_sending_flag: bool = True
+
+    def __post_init__(self) -> None:
+        if self.monitor_interval_s <= 0:
+            raise ValueError("monitor interval must be positive")
+        if self.low_count_limit < 1:
+            raise ValueError("low count limit must be >= 1")
+
+
+@dataclasses.dataclass
+class DaemonConfig:
+    """Per-daemon settings (the thesis' system configuration parameters).
+
+    Attributes
+    ----------
+    service_check_interval_loops:
+        §3.5: stored devices are re-fetched only every N inquiry loops
+        "to achieve the energy saving".
+    stale_after_loops:
+        §3.5: "If one device doesn't respond to the inquiry during certain
+        loop ... the device information should be removed" — we allow a
+        small number of missed loops before eviction because Bluetooth's
+        asymmetric discovery produces random misses (§3.4.2).
+    unified_fetch:
+        §3.4.1: "we could unify these 4 short connections to an only one
+        longer connection" — True models the unified fetch, False the four
+        separate short connections of Fig. 3.7.
+    bridge_enabled:
+        Run the hidden bridge service (§4.0 discusses switching it off on
+        battery-constrained mobiles).
+    bridge_max_connections:
+        Maximum simultaneous relayed pairs (§4.0's owner-adjusted cap);
+        0 means unlimited.
+    advertise_load_in_quality:
+        §4.0's idea: reduce the advertised link quality proportionally to
+        bridge occupancy to steer routes away from bottlenecks.
+    connect_retries:
+        Library-level establishment retries for outgoing connections.
+    """
+
+    service_check_interval_loops: int = 3
+    stale_after_loops: int = 3
+    unified_fetch: bool = True
+    bridge_enabled: bool = True
+    bridge_max_connections: int = 8
+    advertise_load_in_quality: bool = False
+    connect_retries: int = 1
+    routing: RoutingPolicy = dataclasses.field(default_factory=RoutingPolicy)
+    handover: HandoverConfig = dataclasses.field(
+        default_factory=HandoverConfig)
+
+    def __post_init__(self) -> None:
+        if self.service_check_interval_loops < 1:
+            raise ValueError("service check interval must be >= 1 loop")
+        if self.stale_after_loops < 1:
+            raise ValueError("stale-after must be >= 1 loop")
+        if self.bridge_max_connections < 0:
+            raise ValueError("bridge max connections must be >= 0")

@@ -1,0 +1,96 @@
+"""Device identity and mobility classification.
+
+§2.3: "To be able to distinguish devices from each other, the devices must
+contain some unique information.  MAC-Address of network interfaces is the
+most appropriate ... Checksum number is also included as device parameter.
+Currently checksum is the same as daemon process ID number and is not used."
+
+§3.4.3 classifies devices into static / hybrid / dynamic with the numeric
+values {0, 1, 3} "to make easier the comparison during the device discovery
+process".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+
+
+class MobilityClass(enum.IntEnum):
+    """The paper's device mobility classes with their exact values."""
+
+    STATIC = 0
+    HYBRID = 1
+    DYNAMIC = 3
+
+    @classmethod
+    def parse(cls, value: "MobilityClass | str | int") -> "MobilityClass":
+        """Accept an enum member, its name (any case) or its value."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                raise ValueError(
+                    f"unknown mobility class {value!r}; "
+                    f"expected static, hybrid or dynamic") from None
+        return cls(value)
+
+
+def mobility_addition(first: MobilityClass, second: MobilityClass) -> int:
+    """The §3.4.3 route-stability cost of two hops' mobility classes.
+
+    The paper tabulates all nine combinations; the cost is simply the sum
+    of the numeric class values (0+0=0 ... 3+3=6) — "the smaller the
+    mobility number is, the better would be the stability of the
+    connection".
+    """
+    return int(first) + int(second)
+
+
+def address_for(device_name: str) -> str:
+    """Deterministic MAC-style address derived from a device name.
+
+    Real PeerHood keys devices by interface MAC; the simulation derives a
+    stable pseudo-MAC from the name so traces are readable and runs
+    reproducible.
+    """
+    digest = hashlib.sha256(device_name.encode()).hexdigest()
+    pairs = [digest[i:i + 2] for i in range(0, 12, 2)]
+    return ":".join(pairs)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceIdentity:
+    """What a device tells the world about itself during discovery.
+
+    Attributes
+    ----------
+    address:
+        Unique MAC-style identifier (the DeviceStorage key).
+    name:
+        Human-readable device name.
+    mobility:
+        §3.4.3 class, set as "a system parameter in the initialization".
+    checksum:
+        The daemon process id; carried but unused, as in the paper (§2.3).
+    """
+
+    address: str
+    name: str
+    mobility: MobilityClass
+    checksum: int = 0
+
+    @classmethod
+    def create(cls, name: str,
+               mobility: "MobilityClass | str | int" = MobilityClass.DYNAMIC,
+               checksum: int = 0) -> "DeviceIdentity":
+        """Build an identity with the derived pseudo-MAC address."""
+        return cls(address=address_for(name), name=name,
+                   mobility=MobilityClass.parse(mobility), checksum=checksum)
+
+    def wire_size(self) -> int:
+        """Approximate serialised size in bytes (for traffic accounting)."""
+        return 17 + len(self.name) + 4 + 4  # MAC + name + mobility + checksum

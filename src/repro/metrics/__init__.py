@@ -1,0 +1,22 @@
+"""Measurement layer: traffic counters, event traces, summary statistics.
+
+The paper's quantitative arguments are about message volume (the Gnutella
+comparison, §3.2), connection timing (§4.3) and handover timing (§5.2.1).
+This package gives every experiment the same instruments:
+
+* :class:`TrafficMeter` — per-node, per-category message/byte counters;
+* :class:`EventTrace` — an append-only timeline of labelled events;
+* :func:`summarize` — distribution summary used by the benchmark tables.
+"""
+
+from repro.metrics.counters import TrafficMeter
+from repro.metrics.stats import Summary, summarize
+from repro.metrics.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "EventTrace",
+    "Summary",
+    "TraceEvent",
+    "TrafficMeter",
+    "summarize",
+]

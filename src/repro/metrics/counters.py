@@ -1,0 +1,72 @@
+"""Traffic counters: who sent how many messages and bytes, by category.
+
+Categories used by the stack:
+
+* ``discovery`` — inquiry fetches and their responses (Ch. 3);
+* ``control`` — connection handshakes, acks, disconnects (Ch. 4);
+* ``data`` — application payload (including bridge re-transmissions, so a
+  two-hop message counts twice — the paper's "double amount of time" for
+  interconnection shows up here as double volume);
+* ``query`` — the Gnutella baseline's flooded queries (§3.2).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+
+@dataclasses.dataclass
+class _Bucket:
+    messages: int = 0
+    bytes: int = 0
+
+
+class TrafficMeter:
+    """Nested counters: (node, category) → messages / bytes."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[str, str], _Bucket] = (
+            collections.defaultdict(_Bucket))
+
+    def count(self, node: str, category: str, size_bytes: int,
+              messages: int = 1) -> None:
+        """Record ``messages`` messages totalling ``size_bytes`` bytes."""
+        if size_bytes < 0:
+            raise ValueError(f"negative byte count: {size_bytes}")
+        bucket = self._buckets[(node, category)]
+        bucket.messages += messages
+        bucket.bytes += size_bytes
+
+    def messages(self, node: str | None = None,
+                 category: str | None = None) -> int:
+        """Total messages, filtered by node and/or category."""
+        return sum(bucket.messages
+                   for (n, c), bucket in self._buckets.items()
+                   if (node is None or n == node)
+                   and (category is None or c == category))
+
+    def bytes(self, node: str | None = None,
+              category: str | None = None) -> int:
+        """Total bytes, filtered by node and/or category."""
+        return sum(bucket.bytes
+                   for (n, c), bucket in self._buckets.items()
+                   if (node is None or n == node)
+                   and (category is None or c == category))
+
+    def nodes(self) -> list[str]:
+        """Every node that has sent anything, sorted."""
+        return sorted({n for n, _ in self._buckets})
+
+    def categories(self) -> list[str]:
+        """Every category seen, sorted."""
+        return sorted({c for _, c in self._buckets})
+
+    def per_node(self, category: str | None = None) -> dict[str, int]:
+        """Message counts keyed by node."""
+        return {node: self.messages(node=node, category=category)
+                for node in self.nodes()}
+
+    def reset(self) -> None:
+        """Zero all counters (between benchmark repetitions)."""
+        self._buckets.clear()

@@ -1,0 +1,59 @@
+"""Distribution summaries for benchmark tables."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import statistics
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.3f} "
+                f"median={self.median:.3f} min={self.minimum:.3f} "
+                f"max={self.maximum:.3f} sd={self.stdev:.3f}")
+
+
+def summarize(values: typing.Sequence[float]) -> Summary:
+    """Summarise a non-empty sample."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarise an empty sample")
+    return Summary(
+        count=len(data),
+        mean=statistics.fmean(data),
+        median=statistics.median(data),
+        minimum=min(data),
+        maximum=max(data),
+        stdev=statistics.stdev(data) if len(data) > 1 else 0.0,
+    )
+
+
+def percentile(values: typing.Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile, ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction out of [0,1]: {fraction}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    # a + w*(b - a) is exact when a == b, unlike a*(1-w) + b*w.
+    return ordered[low] + weight * (ordered[high] - ordered[low])

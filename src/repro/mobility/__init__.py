@@ -1,0 +1,31 @@
+"""Mobility models: a node's position as a function of virtual time.
+
+Positions are *functions of time*, not stepped state, so the radio world can
+evaluate any instant deterministically and cheaply.  The thesis classifies
+devices as static / hybrid / dynamic (§3.4.3); these models realise the
+physical side of that classification:
+
+* :class:`StaticPosition` — fixed servers and PCs;
+* :class:`LinearMovement` — constant-velocity motion (the Fig. 5.4 drift);
+* :class:`PathMovement` — scripted waypoints with times (test scenarios);
+* :class:`RandomWaypoint` — the classic ad-hoc evaluation model;
+* :class:`CorridorWalk` — the paper's §5.2.1 office-to-corridor walk: hold
+  position, then depart at walking speed.
+"""
+
+from repro.mobility.base import MobilityModel, Point, distance
+from repro.mobility.linear import LinearMovement, PathMovement
+from repro.mobility.static import StaticPosition
+from repro.mobility.walker import CorridorWalk
+from repro.mobility.waypoint import RandomWaypoint
+
+__all__ = [
+    "CorridorWalk",
+    "LinearMovement",
+    "MobilityModel",
+    "PathMovement",
+    "Point",
+    "RandomWaypoint",
+    "StaticPosition",
+    "distance",
+]

@@ -1,0 +1,32 @@
+"""Base types for mobility models."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+#: A 2-D position in metres.
+Point = typing.Tuple[float, float]
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class MobilityModel:
+    """Interface: position as a pure function of virtual time.
+
+    Implementations must be deterministic: calling ``position(t)`` twice
+    with the same ``t`` returns the same point, and queries may arrive out
+    of time order (the discovery loops of different devices sample the world
+    at their own cadence).
+    """
+
+    def position(self, t: float) -> Point:
+        """The node's position at virtual time ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def is_mobile(self) -> bool:
+        """True if the model ever changes position (for trace labelling)."""
+        return True

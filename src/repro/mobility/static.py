@@ -1,0 +1,21 @@
+"""Fixed-position model for servers, PCs and laptops on desks."""
+
+from __future__ import annotations
+
+from repro.mobility.base import MobilityModel, Point
+
+
+class StaticPosition(MobilityModel):
+    """A node that never moves."""
+
+    def __init__(self, x: float, y: float):
+        self._point: Point = (float(x), float(y))
+
+    def position(self, t: float) -> Point:
+        return self._point
+
+    def is_mobile(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"StaticPosition{self._point}"

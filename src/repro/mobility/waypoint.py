@@ -1,0 +1,79 @@
+"""Random-waypoint mobility, the standard ad-hoc network evaluation model."""
+
+from __future__ import annotations
+
+from repro.mobility.base import MobilityModel, Point, distance
+from repro.sim.rng import RandomStream
+
+
+class RandomWaypoint(MobilityModel):
+    """Pick a random destination, move to it at a random speed, pause, repeat.
+
+    Legs are generated lazily but cached, so out-of-order time queries are
+    consistent.  All randomness comes from the supplied stream — two models
+    with equal streams trace identical paths.
+
+    Parameters
+    ----------
+    rng:
+        Seeded random stream (use ``sim.rng(f"rwp/{name}")``).
+    area:
+        ``(width, height)`` of the rectangle the node roams in, metres.
+    speed_range:
+        ``(min, max)`` speed in m/s, drawn uniformly per leg.
+    pause_range:
+        ``(min, max)`` pause at each waypoint in seconds.
+    start:
+        Starting point; defaults to a random point in the area.
+    """
+
+    def __init__(self, rng: RandomStream, area: Point = (100.0, 100.0),
+                 speed_range: tuple[float, float] = (0.5, 2.0),
+                 pause_range: tuple[float, float] = (0.0, 10.0),
+                 start: Point | None = None):
+        if speed_range[0] <= 0 or speed_range[1] < speed_range[0]:
+            raise ValueError(f"invalid speed range: {speed_range}")
+        if pause_range[0] < 0 or pause_range[1] < pause_range[0]:
+            raise ValueError(f"invalid pause range: {pause_range}")
+        self._rng = rng
+        self.area = area
+        self.speed_range = speed_range
+        self.pause_range = pause_range
+        if start is None:
+            start = (rng.uniform(0.0, area[0]), rng.uniform(0.0, area[1]))
+        # Each leg: (start_time, end_time, from_point, to_point) followed by
+        # a pause until the next leg's start_time.
+        self._legs: list[tuple[float, float, Point, Point]] = []
+        self._next_leg_start = 0.0
+        self._current_point: Point = start
+
+    def _extend_until(self, t: float) -> None:
+        while self._next_leg_start <= t:
+            origin = self._current_point
+            target = (self._rng.uniform(0.0, self.area[0]),
+                      self._rng.uniform(0.0, self.area[1]))
+            speed = self._rng.uniform(*self.speed_range)
+            travel = distance(origin, target) / speed
+            leg_start = self._next_leg_start
+            leg_end = leg_start + travel
+            self._legs.append((leg_start, leg_end, origin, target))
+            pause = self._rng.uniform(*self.pause_range)
+            self._next_leg_start = leg_end + pause
+            self._current_point = target
+
+    def position(self, t: float) -> Point:
+        if t < 0:
+            t = 0.0
+        self._extend_until(t)
+        point = self._legs[0][2] if self._legs else self._current_point
+        for leg_start, leg_end, origin, target in self._legs:
+            if t < leg_start:
+                return point  # pausing at the previous target
+            if t <= leg_end:
+                if leg_end == leg_start:
+                    return target
+                fraction = (t - leg_start) / (leg_end - leg_start)
+                return (origin[0] + fraction * (target[0] - origin[0]),
+                        origin[1] + fraction * (target[1] - origin[1]))
+            point = target
+        return point

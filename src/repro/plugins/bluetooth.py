@@ -1,0 +1,25 @@
+"""BluetoothPlugin (§2.2.1, Fig. 3.7, Fig. 3.12).
+
+Bluetooth is the thesis' implementation technology.  Its defining quirks —
+slow faulty connects and asymmetric discovery (a device running an inquiry
+cannot itself be discovered, §3.4.2) — live in the
+:data:`~repro.radio.technologies.BLUETOOTH` parameter set and the world
+model; the plugin itself is the generic Fig. 3.12 loop.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.plugins.base import AbstractPlugin
+from repro.radio.technologies import BLUETOOTH
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import PeerHoodNode
+
+
+class BluetoothPlugin(AbstractPlugin):
+    """The BTPlugin of the thesis."""
+
+    def __init__(self, node: "PeerHoodNode"):
+        super().__init__(node, BLUETOOTH)

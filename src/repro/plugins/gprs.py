@@ -1,0 +1,18 @@
+"""GPRSPlugin: cellular reach, low bitrate, high latency."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.plugins.base import AbstractPlugin
+from repro.radio.technologies import GPRS
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import PeerHoodNode
+
+
+class GprsPlugin(AbstractPlugin):
+    """General Packet Radio Service plugin (§2.1)."""
+
+    def __init__(self, node: "PeerHoodNode"):
+        super().__init__(node, GPRS)

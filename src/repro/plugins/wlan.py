@@ -1,0 +1,18 @@
+"""WLANPlugin: symmetric discovery, fast connects, 50 m coverage."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.plugins.base import AbstractPlugin
+from repro.radio.technologies import WLAN
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import PeerHoodNode
+
+
+class WlanPlugin(AbstractPlugin):
+    """Wireless LAN plugin (§2.1)."""
+
+    def __init__(self, node: "PeerHoodNode"):
+        super().__init__(node, WLAN)

@@ -1,0 +1,63 @@
+"""Radio substrate: the simulated physical layer.
+
+The thesis ran on real Bluetooth/WLAN/GPRS hardware.  This package replaces
+those radios with a 2-D world model:
+
+* :mod:`~repro.radio.technologies` — per-technology parameter sets
+  (coverage radius, connect-time distribution, establishment fault
+  probability, bitrate, inquiry behaviour), calibrated from the paper's own
+  measurements (Bluetooth bridge connects in 3–18 s with ~30 % faults, §4.3);
+* :mod:`~repro.radio.propagation` — log-distance path loss → RSSI;
+* :mod:`~repro.radio.quality` — RSSI/distance → the PeerHood link-quality
+  scale (0–255, "low" threshold 230, §3.4.1/Fig. 5.8);
+* :mod:`~repro.radio.world` — node positions (driven by mobility models),
+  range queries and quality lookups, plus the paper's artificial quality
+  decay fault injection (Fig. 5.8);
+* :mod:`~repro.radio.channel` — physical link establishment and framed
+  transmission with latency, loss on range exit, and teardown.
+"""
+
+from repro.radio.channel import (
+    ChannelClosed,
+    ConnectFault,
+    Link,
+    LinkEstablisher,
+    OutOfRange,
+)
+from repro.radio.propagation import LogDistancePathLoss, PathLossModel
+from repro.radio.quality import (
+    PAPER_LOW_QUALITY_THRESHOLD,
+    QUALITY_MAX,
+    PathLossQuality,
+    PiecewiseLinearQuality,
+    QualityModel,
+)
+from repro.radio.technologies import (
+    BLUETOOTH,
+    GPRS,
+    TECHNOLOGIES,
+    WLAN,
+    Technology,
+)
+from repro.radio.world import World
+
+__all__ = [
+    "BLUETOOTH",
+    "ChannelClosed",
+    "ConnectFault",
+    "GPRS",
+    "Link",
+    "LinkEstablisher",
+    "LogDistancePathLoss",
+    "OutOfRange",
+    "PAPER_LOW_QUALITY_THRESHOLD",
+    "PathLossModel",
+    "PathLossQuality",
+    "PiecewiseLinearQuality",
+    "QUALITY_MAX",
+    "QualityModel",
+    "TECHNOLOGIES",
+    "Technology",
+    "WLAN",
+    "World",
+]

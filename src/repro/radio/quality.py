@@ -1,0 +1,111 @@
+"""Link-quality models: distance → the PeerHood 0–255 quality scale.
+
+The thesis stores a single integer "link quality" per neighbour (§3.4.1),
+compares route qualities additively (Fig. 3.8/3.9) and uses **230** as the
+minimum acceptable per-link value (Fig. 3.9) and as the handover "signal
+low" threshold (Fig. 5.8).  Quality 255 is a perfect link; 0 means no link.
+"""
+
+from __future__ import annotations
+
+from repro.radio.propagation import LogDistancePathLoss, PathLossModel
+
+#: Top of the PeerHood link-quality scale.
+QUALITY_MAX = 255
+
+#: The paper's minimum acceptable per-link quality (Figs. 3.9, 5.8).
+PAPER_LOW_QUALITY_THRESHOLD = 230
+
+
+def clamp_quality(value: float) -> int:
+    """Round and clamp a raw quality figure onto the 0–255 scale."""
+    return max(0, min(QUALITY_MAX, round(value)))
+
+
+class QualityModel:
+    """Interface: ``quality(distance_m, range_m) -> int`` in 0–255."""
+
+    def quality(self, distance_m: float, range_m: float) -> int:
+        """Link quality at the given distance for a radio of given range."""
+        raise NotImplementedError
+
+
+class PiecewiseLinearQuality(QualityModel):
+    """Plateau-then-ramp model matching observed Bluetooth behaviour.
+
+    Real Bluetooth link quality sits near 255 until the device approaches
+    the coverage edge, then falls quickly (§5.2.1: "the decrease of
+    Bluetooth link quality parameter is really fast").  We model:
+
+    * ``quality = 255`` for ``d <= plateau_fraction * range``;
+    * linear ramp from 255 down to ``edge_quality`` at ``d = range``;
+    * 0 beyond range (no link).
+
+    With the defaults (plateau 0.5, edge quality 180) the paper's 230
+    threshold is crossed at two thirds of the radio range — the device is
+    "almost leaving the coverage area" (§3.4.1).
+    """
+
+    def __init__(self, plateau_fraction: float = 0.5,
+                 edge_quality: int = 180):
+        if not 0.0 <= plateau_fraction < 1.0:
+            raise ValueError(
+                f"plateau fraction out of [0,1): {plateau_fraction}")
+        if not 0 <= edge_quality < QUALITY_MAX:
+            raise ValueError(f"edge quality out of range: {edge_quality}")
+        self.plateau_fraction = plateau_fraction
+        self.edge_quality = edge_quality
+
+    def quality(self, distance_m: float, range_m: float) -> int:
+        if distance_m < 0:
+            raise ValueError(f"negative distance: {distance_m}")
+        if range_m <= 0:
+            raise ValueError(f"non-positive range: {range_m}")
+        if distance_m > range_m:
+            return 0
+        plateau_end = self.plateau_fraction * range_m
+        if distance_m <= plateau_end:
+            return QUALITY_MAX
+        ramp = (distance_m - plateau_end) / (range_m - plateau_end)
+        value = QUALITY_MAX - ramp * (QUALITY_MAX - self.edge_quality)
+        return clamp_quality(value)
+
+    def distance_for_quality(self, target_quality: int,
+                             range_m: float) -> float:
+        """Distance at which quality first drops to ``target_quality``."""
+        if target_quality >= QUALITY_MAX:
+            return 0.0
+        if target_quality <= self.edge_quality:
+            return range_m
+        plateau_end = self.plateau_fraction * range_m
+        ramp = (QUALITY_MAX - target_quality) / (
+            QUALITY_MAX - self.edge_quality)
+        return plateau_end + ramp * (range_m - plateau_end)
+
+
+class PathLossQuality(QualityModel):
+    """RSSI-derived quality: log-distance path loss linearly rescaled.
+
+    ``quality = 255 * (rssi - floor) / (ceiling - floor)``, clamped, and 0
+    beyond the radio range.  This is closest to what the thesis actually
+    measured (HCI RSSI during discovery fetch connections, §3.4.1).
+    """
+
+    def __init__(self, path_loss: PathLossModel | None = None,
+                 rssi_ceiling_dbm: float = -45.0,
+                 rssi_floor_dbm: float = -90.0):
+        if rssi_floor_dbm >= rssi_ceiling_dbm:
+            raise ValueError("rssi floor must lie below ceiling")
+        self.path_loss = path_loss or LogDistancePathLoss()
+        self.rssi_ceiling_dbm = rssi_ceiling_dbm
+        self.rssi_floor_dbm = rssi_floor_dbm
+
+    def quality(self, distance_m: float, range_m: float) -> int:
+        if distance_m < 0:
+            raise ValueError(f"negative distance: {distance_m}")
+        if distance_m > range_m:
+            return 0
+        rssi = self.path_loss.rssi_dbm(distance_m)
+        span = self.rssi_ceiling_dbm - self.rssi_floor_dbm
+        fraction = (rssi - self.rssi_floor_dbm) / span
+        return clamp_quality(QUALITY_MAX * fraction)

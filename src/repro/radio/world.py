@@ -1,0 +1,287 @@
+"""The radio world: node positions, range queries, link quality.
+
+One :class:`World` instance per simulation holds every radio-equipped node.
+Positions come from mobility models evaluated at the simulator clock, so the
+world never needs periodic "move" events.  The world also hosts two pieces
+of behavioural fault injection used by the paper's experiments:
+
+* *inquiry marking* — Bluetooth devices that are scanning are undiscoverable
+  (§3.4.2); plugins mark themselves while inquiring;
+* *quality overrides* — the Fig. 5.8 handover simulation artificially decays
+  the monitored link quality by one unit per second; overrides replace the
+  physical model for chosen pairs.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mobility.base import MobilityModel, Point, distance
+from repro.radio.quality import PiecewiseLinearQuality, QualityModel
+from repro.radio.technologies import Technology, get_technology
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+#: Signature of a quality override: virtual time → quality (0–255) or None
+#: to fall back to the physical model.
+QualityOverride = typing.Callable[[float], typing.Optional[int]]
+
+
+class WorldNode:
+    """A radio-equipped node: identity, mobility and fitted technologies."""
+
+    def __init__(self, node_id: str, mobility: MobilityModel,
+                 technologies: frozenset[str]):
+        self.node_id = node_id
+        self.mobility = mobility
+        self.technologies = technologies
+
+    def __repr__(self) -> str:
+        techs = ",".join(sorted(self.technologies))
+        return f"<WorldNode {self.node_id} [{techs}]>"
+
+
+class World:
+    """Container of nodes plus geometry and link-quality queries."""
+
+    def __init__(self, sim: "Simulator",
+                 quality_model: QualityModel | None = None):
+        self.sim = sim
+        self.quality_model = quality_model or PiecewiseLinearQuality()
+        self._nodes: dict[str, WorldNode] = {}
+        self._overrides: dict[tuple[str, str, str], QualityOverride] = {}
+        self._inquiring: set[tuple[str, str]] = set()
+        # Toggle log per (node, tech): (time, became_inquiring) pairs, used
+        # by the interval-overlap discoverability query.  Pruned lazily.
+        self._inquiry_history: dict[
+            tuple[str, str], list[tuple[float, bool]]] = {}
+
+    # ------------------------------------------------------------------
+    # node management
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, mobility: MobilityModel,
+                 technologies: typing.Iterable[Technology | str]) -> WorldNode:
+        """Register a node.  ``technologies`` may mix names and objects."""
+        if node_id in self._nodes:
+            raise ValueError(f"duplicate node id: {node_id!r}")
+        names = frozenset(
+            tech if isinstance(tech, str) else tech.name
+            for tech in technologies)
+        if not names:
+            raise ValueError(f"node {node_id!r} needs at least one technology")
+        for name in names:
+            get_technology(name)  # validate early
+        node = WorldNode(node_id, mobility, names)
+        self._nodes[node_id] = node
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node (power-off); pending overrides are kept harmless."""
+        self._node(node_id)  # raise if unknown
+        del self._nodes[node_id]
+        self._inquiring = {
+            key for key in self._inquiring if key[0] != node_id}
+
+    def node_ids(self) -> list[str]:
+        """All registered node ids, sorted for determinism."""
+        return sorted(self._nodes)
+
+    def has_node(self, node_id: str) -> bool:
+        """True if the node exists."""
+        return node_id in self._nodes
+
+    def _node(self, node_id: str) -> WorldNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node: {node_id!r}") from None
+
+    def node(self, node_id: str) -> WorldNode:
+        """Public lookup of a node record."""
+        return self._node(node_id)
+
+    def supports(self, node_id: str, tech: Technology) -> bool:
+        """True if the node has the given radio fitted."""
+        return tech.name in self._node(node_id).technologies
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def position(self, node_id: str) -> Point:
+        """The node's position at the current virtual time."""
+        return self._node(node_id).mobility.position(self.sim.now)
+
+    def distance(self, a: str, b: str) -> float:
+        """Distance between two nodes now, in metres."""
+        return distance(self.position(a), self.position(b))
+
+    def in_range(self, a: str, b: str, tech: Technology) -> bool:
+        """True if both nodes have ``tech`` and are within its radius.
+
+        A node that has been removed from the world (powered off, battery
+        pulled) is simply out of range of everything — links to it break
+        rather than the query crashing.
+        """
+        if a == b:
+            return False
+        if a not in self._nodes or b not in self._nodes:
+            return False
+        if not (self.supports(a, tech) and self.supports(b, tech)):
+            return False
+        return self.distance(a, b) <= tech.range_m
+
+    # ------------------------------------------------------------------
+    # link quality
+    # ------------------------------------------------------------------
+    def _override_key(self, a: str, b: str,
+                      tech: Technology) -> tuple[str, str, str]:
+        first, second = sorted((a, b))
+        return (first, second, tech.name)
+
+    def set_quality_override(self, a: str, b: str, tech: Technology,
+                             override: QualityOverride | None) -> None:
+        """Install (or clear, with None) an artificial quality function."""
+        key = self._override_key(a, b, tech)
+        if override is None:
+            self._overrides.pop(key, None)
+        else:
+            self._overrides[key] = override
+
+    def install_linear_decay(self, a: str, b: str, tech: Technology,
+                             initial_quality: int,
+                             decay_per_second: float = 1.0,
+                             start_time: float | None = None) -> None:
+        """The paper's Fig. 5.8 fault injection.
+
+        From ``start_time`` (default: now) the reported quality for the pair
+        is ``initial_quality - decay_per_second * elapsed``, floored at 0.
+        """
+        t0 = self.sim.now if start_time is None else start_time
+
+        def decayed(t: float) -> int:
+            elapsed = max(0.0, t - t0)
+            return max(0, round(initial_quality - decay_per_second * elapsed))
+
+        self.set_quality_override(a, b, tech, decayed)
+
+    def link_quality(self, a: str, b: str, tech: Technology) -> int:
+        """Current link quality (0–255); 0 when out of range or no radio."""
+        override = self._overrides.get(self._override_key(a, b, tech))
+        if override is not None:
+            value = override(self.sim.now)
+            if value is not None:
+                return max(0, min(255, int(value)))
+        if not self.in_range(a, b, tech):
+            return 0
+        return self.quality_model.quality(self.distance(a, b), tech.range_m)
+
+    # ------------------------------------------------------------------
+    # discovery support
+    # ------------------------------------------------------------------
+    #: Toggle-log entries older than this are pruned (no scan looks back
+    #: further than one inquiry duration).
+    _HISTORY_HORIZON_S = 120.0
+
+    def mark_inquiring(self, node_id: str, tech: Technology,
+                       inquiring: bool) -> None:
+        """Record that a node is running a discovery scan on ``tech``."""
+        key = (node_id, tech.name)
+        already = key in self._inquiring
+        if inquiring == already:
+            return
+        if inquiring:
+            self._inquiring.add(key)
+        else:
+            self._inquiring.discard(key)
+        history = self._inquiry_history.setdefault(key, [])
+        history.append((self.sim.now, inquiring))
+        if len(history) > 16:
+            cutoff = self.sim.now - self._HISTORY_HORIZON_S
+            while len(history) > 2 and history[1][0] < cutoff:
+                history.pop(0)
+
+    def is_inquiring(self, node_id: str, tech: Technology) -> bool:
+        """True while the node is scanning on ``tech``."""
+        return (node_id, tech.name) in self._inquiring
+
+    def is_discoverable(self, node_id: str, tech: Technology) -> bool:
+        """Can an inquiry find this node right now?
+
+        Bluetooth's asymmetric discovery (§3.4.2): a node that is itself
+        inquiring cannot be discovered.
+        """
+        if not self.supports(node_id, tech):
+            return False
+        if tech.discoverable_while_inquiring:
+            return True
+        return not self.is_inquiring(node_id, tech)
+
+    def max_discoverable_gap(self, node_id: str, tech: Technology,
+                             window_start: float,
+                             window_end: float) -> float:
+        """Longest contiguous non-inquiring stretch inside the window.
+
+        For technologies that stay discoverable while scanning this is the
+        whole window.  For Bluetooth it walks the inquiry toggle log: a
+        peer can only answer our inquiry during its own idle gaps, and the
+        inquiry protocol needs a minimum contiguous gap to complete the
+        exchange (``tech.response_window_s``).
+        """
+        if window_end < window_start:
+            raise ValueError("window end before start")
+        if tech.discoverable_while_inquiring:
+            return window_end - window_start
+        key = (node_id, tech.name)
+        history = self._inquiry_history.get(key, [])
+        # State at window_start: last toggle at or before it (default: not
+        # inquiring — nodes boot idle).
+        inquiring = False
+        for when, became in history:
+            if when > window_start:
+                break
+            inquiring = became
+        longest = 0.0
+        gap_start = None if inquiring else window_start
+        for when, became in history:
+            if when <= window_start:
+                continue
+            if when >= window_end:
+                break
+            if became and gap_start is not None:
+                longest = max(longest, when - gap_start)
+                gap_start = None
+            elif not became and gap_start is None:
+                gap_start = when
+        if gap_start is not None:
+            longest = max(longest, window_end - gap_start)
+        return longest
+
+    def heard_during_scan(self, node_id: str, tech: Technology,
+                          window_start: float, window_end: float) -> bool:
+        """Would an inquiry over the window have heard this node?"""
+        gap = self.max_discoverable_gap(node_id, tech, window_start,
+                                        window_end)
+        return gap >= tech.response_window_s
+
+    def discoverable_neighbors(self, node_id: str,
+                               tech: Technology) -> list[str]:
+        """Nodes in range on ``tech`` that an inquiry would find now."""
+        if not self.supports(node_id, tech):
+            return []
+        found = []
+        for other_id in self.node_ids():
+            if other_id == node_id:
+                continue
+            if not self.in_range(node_id, other_id, tech):
+                continue
+            if not self.is_discoverable(other_id, tech):
+                continue
+            found.append(other_id)
+        return found
+
+    def neighbors(self, node_id: str, tech: Technology) -> list[str]:
+        """All nodes in range on ``tech`` (ignoring discoverability)."""
+        return [other_id for other_id in self.node_ids()
+                if other_id != node_id
+                and self.in_range(node_id, other_id, tech)]

@@ -1,0 +1,32 @@
+"""Scenario construction: the paper's topologies as reusable builders.
+
+:class:`~repro.scenarios.builder.Scenario` bundles a simulator, a radio
+world and a fabric, with convenience methods to add PeerHood nodes.
+:mod:`~repro.scenarios.topologies` provides the exact layouts of the
+thesis' figures (3.3, 3.6, 3.9, 4.5, 5.8, 6.1) plus generic lines, grids
+and random discs for sweeps.
+"""
+
+from repro.scenarios.builder import Scenario
+from repro.scenarios.topologies import (
+    fig_3_3_coverage_exclusion,
+    fig_3_6_dynamic_discovery,
+    fig_3_9_quality_equity,
+    fig_4_5_bridge_test,
+    fig_5_8_handover,
+    line_topology,
+    random_disc,
+    tunnel_topology,
+)
+
+__all__ = [
+    "Scenario",
+    "fig_3_3_coverage_exclusion",
+    "fig_3_6_dynamic_discovery",
+    "fig_3_9_quality_equity",
+    "fig_4_5_bridge_test",
+    "fig_5_8_handover",
+    "line_topology",
+    "random_disc",
+    "tunnel_topology",
+]

@@ -1,0 +1,139 @@
+"""The Scenario facade: one object wiring simulator + world + fabric.
+
+Everything in ``examples/`` and ``benchmarks/`` goes through this::
+
+    scenario = Scenario(seed=7)
+    pc = scenario.add_node("pc", position=(0, 0), mobility_class="static")
+    phone = scenario.add_node("phone", position=(5, 0))
+    scenario.start_all()
+    scenario.run(until=120)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.config import DaemonConfig
+from repro.core.fabric import Fabric
+from repro.core.node import PeerHoodNode
+from repro.metrics.counters import TrafficMeter
+from repro.metrics.trace import EventTrace
+from repro.mobility.base import MobilityModel
+from repro.mobility.static import StaticPosition
+from repro.radio.quality import QualityModel
+from repro.radio.world import World
+from repro.sim.kernel import Simulator
+
+
+class Scenario:
+    """A complete simulation environment with named PeerHood nodes."""
+
+    def __init__(self, seed: int = 0,
+                 quality_model: QualityModel | None = None):
+        self.sim = Simulator(seed=seed)
+        self.world = World(self.sim, quality_model=quality_model)
+        self.fabric = Fabric(self.world)
+        self.nodes: dict[str, PeerHoodNode] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str,
+                 position: tuple[float, float] | None = None,
+                 mobility: MobilityModel | None = None,
+                 technologies: typing.Sequence[str] = ("bluetooth",),
+                 mobility_class: str = "dynamic",
+                 config: DaemonConfig | None = None) -> PeerHoodNode:
+        """Add a PeerHood device.
+
+        Give either ``position`` (a static point) or ``mobility`` (any
+        mobility model); ``mobility`` wins when both are supplied.
+        """
+        if mobility is None:
+            if position is None:
+                raise ValueError(
+                    f"node {name!r} needs a position or a mobility model")
+            mobility = StaticPosition(*position)
+        node = PeerHoodNode(self.fabric, name, mobility,
+                            technologies=technologies,
+                            mobility_class=mobility_class,
+                            config=config)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> PeerHoodNode:
+        """Look up a node by name."""
+        return self.nodes[name]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start_all(self) -> None:
+        """Start every daemon."""
+        for node in self.nodes.values():
+            node.start()
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)
+
+    def run_process(self, generator: typing.Generator,
+                    name: str = "scenario-process") -> object:
+        """Spawn a process and run until it finishes; returns its value."""
+        process = self.sim.spawn(generator, name=name)
+        return self.sim.run(until=process)
+
+    def settle_discovery(self, duration: float = 120.0) -> None:
+        """Run long enough for discovery to converge (several BT cycles)."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def wait_for_route(self, from_name: str, to_name: str,
+                       timeout_s: float = 600.0,
+                       poll_s: float = 5.0) -> bool:
+        """Advance the simulation until ``from_name`` has a route to
+        ``to_name`` in its DeviceStorage (what a real application does by
+        polling GetDeviceList before connecting).  Returns False if the
+        route never appeared within the timeout."""
+        source = self.nodes[from_name]
+        target_address = self.nodes[to_name].address
+
+        def waiter(sim):
+            deadline = sim.now + timeout_s
+            while sim.now < deadline:
+                if source.daemon.storage.get(target_address) is not None:
+                    return True
+                yield sim.timeout(poll_s)
+            return False
+
+        process = self.sim.spawn(waiter(self.sim), name="wait-for-route")
+        return bool(self.sim.run(until=process))
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> EventTrace:
+        """The shared event trace."""
+        return self.fabric.trace
+
+    @property
+    def meter(self) -> TrafficMeter:
+        """The shared traffic meter."""
+        return self.fabric.meter
+
+    def awareness(self, name: str) -> set[str]:
+        """Node names this node currently knows about (any jump count)."""
+        node = self.nodes[name]
+        known = set()
+        for device in node.daemon.storage.devices():
+            peer = self.fabric.node_by_address(device.address)
+            if peer is not None:
+                known.add(peer.node_id)
+        return known
+
+    def awareness_fraction(self, name: str) -> float:
+        """Fraction of the *other* PeerHood nodes this node knows about."""
+        others = len(self.nodes) - 1
+        if others <= 0:
+            return 1.0
+        return len(self.awareness(name)) / others

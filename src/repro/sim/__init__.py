@@ -1,0 +1,53 @@
+"""Discrete-event simulation kernel.
+
+This package provides the substrate on which the PeerHood middleware runs.
+The thesis' implementation used POSIX threads on real devices; here every
+"thread" (inquiry loop, advertise loop, monitor loop, bridge main loop) is a
+:class:`~repro.sim.process.Process` driven by a deterministic event heap, so
+experiments are reproducible and can be run thousands of times per second.
+
+Public surface::
+
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=7)
+
+    def worker(sim):
+        yield sim.timeout(5.0)
+        return "done"
+
+    proc = sim.spawn(worker(sim), name="worker")
+    sim.run()
+    assert proc.value == "done"
+"""
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.kernel import Simulator, StopSimulation
+from repro.sim.process import Process
+from repro.sim.resources import Lock, Resource, Store
+from repro.sim.rng import RandomStream
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "Lock",
+    "Process",
+    "RandomStream",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

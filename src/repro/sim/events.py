@@ -1,0 +1,201 @@
+"""Event primitives for the simulation kernel.
+
+Events follow the classic discrete-event model: an event is *triggered* when
+a value (or failure) has been assigned to it and it has been scheduled on the
+simulator's heap, and *processed* once its callbacks have run.  Processes
+wait on events by yielding them; composite events (:class:`AnyOf`,
+:class:`AllOf`) allow waiting on several conditions at once.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when succeed()/fail() is called on a triggered event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` is whatever object the interrupter supplied; the PeerHood
+    stack uses small strings such as ``"link-lost"`` or ``"handover"``.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.kernel.Simulator`.
+    name:
+        Optional label used in tracebacks and traces.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self._value: object = None
+        self._exception: BaseException | None = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value or failure has been assigned."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event left the heap)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> object:
+        """The success value.  Raises the failure exception if failed."""
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The failure exception, or None."""
+        return self._exception
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(self)
+        return self
+
+    def _add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback immediately so late
+            # waiters observe the result instead of hanging forever.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None,
+                 name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name or f"timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Common machinery for AnyOf / AllOf composites."""
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event],
+                 name: str = ""):
+        super().__init__(sim, name)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events of two simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            event._add_callback(self._on_child)
+
+    def _collect(self) -> dict[Event, object]:
+        # Timeouts are "triggered" the moment they are created (value already
+        # assigned, sitting on the heap), so membership must be judged by
+        # *processed* — the event actually left the heap and fired.
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event._exception is None
+        }
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _child_failed(self, event: Event) -> None:
+        if not self._triggered:
+            assert event._exception is not None
+            self.fail(event._exception)
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers.
+
+    The value is a dict mapping the already-succeeded events to their
+    values, mirroring :mod:`simpy`'s condition values.
+    """
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self._child_failed(event)
+            return
+        self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered."""
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self._child_failed(event)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())

@@ -1,0 +1,175 @@
+"""The simulator: an event heap and a virtual clock.
+
+The kernel is deliberately small: it schedules :class:`~repro.sim.events.Event`
+objects at absolute virtual times, pops them in (time, sequence) order and
+runs their callbacks.  Everything else — processes, resources, the radio
+world, the PeerHood daemons — is built from events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RandomStream
+
+
+class StopSimulation(Exception):
+    """Raised internally to abort :meth:`Simulator.run` early."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulator's random streams.  Every component
+        should draw from :meth:`rng` with its own label so that adding a new
+        consumer does not perturb others (stream splitting).
+    start_time:
+        Initial virtual clock value (seconds).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._seed = seed
+        self._streams: dict[str, RandomStream] = {}
+        self._active_process: Process | None = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # clock & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Put a triggered event on the heap ``delay`` seconds from now."""
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    # ------------------------------------------------------------------
+    # event factories
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Wait for the first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Wait for all of ``events``."""
+        return AllOf(self, events)
+
+    def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    process = spawn  # simpy-compatible alias
+
+    # ------------------------------------------------------------------
+    # random streams
+    # ------------------------------------------------------------------
+    def rng(self, label: str) -> RandomStream:
+        """Return the named random stream, creating it on first use.
+
+        Streams are derived from the master seed and the label, so two
+        simulators with the same seed produce identical streams regardless
+        of creation order.
+        """
+        stream = self._streams.get(label)
+        if stream is None:
+            stream = RandomStream(self._seed, label)
+            self._streams[label] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next event on the heap."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError(
+                f"time went backwards: {when} < {self._now}")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the heap is empty,
+        * a number — run until that virtual time (the clock is advanced to
+          exactly that time),
+        * an :class:`Event` — run until it is processed and return its value.
+        """
+        self._stopped = False
+        if until is None:
+            self._run_all()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        return self._run_until_time(float(until))
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def _run_all(self) -> None:
+        while self._heap and not self._stopped:
+            self.step()
+
+    def _run_until_time(self, deadline: float) -> None:
+        if deadline < self._now:
+            raise SimulationError(
+                f"cannot run until {deadline}: clock is at {self._now}")
+        while self._heap and self._heap[0][0] <= deadline and not self._stopped:
+            self.step()
+        if not self._stopped:
+            self._now = max(self._now, deadline)
+
+    def _run_until_event(self, event: Event) -> object:
+        while not event.processed:
+            if self._stopped:
+                raise StopSimulation("simulator stopped before event fired")
+            if not self._heap:
+                raise SimulationError(
+                    f"event heap empty before {event!r} triggered")
+            self.step()
+        return event.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator t={self._now:.3f} pending={len(self._heap)} "
+                f"seed={self._seed}>")

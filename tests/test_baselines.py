@@ -1,0 +1,114 @@
+"""Tests for the Gnutella and previous-PeerHood baselines."""
+
+import pytest
+
+from repro.baselines.gnutella import GnutellaNetwork
+from repro.baselines.previous_peerhood import (
+    DirectOnlyDiscovery,
+    FullMeshDiscovery,
+    TwoJumpDiscovery,
+)
+from repro.radio.technologies import BLUETOOTH
+from repro.scenarios import fig_3_3_coverage_exclusion, line_topology
+
+
+def build_overlay(scenario):
+    network = GnutellaNetwork(scenario.world, BLUETOOTH)
+    for name in scenario.nodes:
+        network.add_node(name)
+    return network
+
+
+def test_gnutella_search_finds_resource_along_a_chain():
+    scenario = line_topology(5, seed=51)
+    network = build_overlay(scenario)
+    network.nodes["n4"].add_resource("song.mp3")
+    result = network.search("n0", "song.mp3")
+    assert result.found_at == ["n4"]
+    assert result.nodes_reached == 5
+    assert result.query_messages > 0
+    assert result.hit_messages >= 4  # four hops back
+
+
+def test_gnutella_ttl_limits_reach():
+    scenario = line_topology(6, seed=52)
+    network = build_overlay(scenario)
+    network.nodes["n5"].add_resource("far.file")
+    result = network.search("n0", "far.file", ttl=2)
+    assert result.found_at == []
+    assert result.nodes_reached == 3  # origin + 2 hops
+
+
+def test_gnutella_traffic_grows_superlinearly_with_density():
+    """§3.2: 'huge network traffic generated due to the high number of
+    query messages'."""
+    from repro.scenarios import random_disc
+
+    per_node_cost = {}
+    for count in (6, 18):
+        scenario = random_disc(count, area=25.0, seed=53)
+        network = build_overlay(scenario)
+        result = network.search("n0", "anything")
+        per_node_cost[count] = result.query_messages / count
+    assert per_node_cost[18] > per_node_cost[6]
+
+
+def test_gnutella_meters_traffic():
+    scenario = line_topology(3, seed=54)
+    network = build_overlay(scenario)
+    network.search("n0", "x")
+    assert network.meter.messages(category="query") > 0
+
+
+def test_gnutella_validation():
+    scenario = line_topology(2, seed=55)
+    network = build_overlay(scenario)
+    with pytest.raises(KeyError):
+        network.search("ghost", "x")
+    with pytest.raises(ValueError):
+        network.search("n0", "x", ttl=0)
+    with pytest.raises(ValueError):
+        network.add_node("n0")
+    with pytest.raises(KeyError):
+        network.add_node("not-in-world")
+
+
+def test_direct_only_oracle_matches_fig_3_3():
+    """A sees B,C,D,E; B sees only A; F/G invisible to B,C,D."""
+    scenario = fig_3_3_coverage_exclusion(seed=56)
+    oracle = DirectOnlyDiscovery(scenario.world, BLUETOOTH)
+    assert oracle.aware_of("A") == {"B", "C", "D", "E"}
+    assert "F" not in oracle.aware_of("B")
+    assert "G" not in oracle.aware_of("D")
+
+
+def test_two_jump_oracle_extends_but_does_not_solve():
+    """§3.1: B,C,D still never learn of F and G with one-level fetching."""
+    scenario = fig_3_3_coverage_exclusion(seed=57)
+    oracle = TwoJumpDiscovery(scenario.world, BLUETOOTH)
+    b_view = oracle.aware_of("B")
+    assert {"C", "D", "E"} <= b_view  # the extra jump helps...
+    assert "F" not in b_view          # ...but exclusion remains
+    assert "G" not in b_view
+    # E *does* see F and G two-jump (directly, in fact).
+    assert {"F", "G"} <= oracle.aware_of("E")
+
+
+def test_full_mesh_oracle_reaches_whole_component():
+    scenario = fig_3_3_coverage_exclusion(seed=58)
+    oracle = FullMeshDiscovery(scenario.world, BLUETOOTH)
+    everyone = set("ABCDEFG")
+    for name in everyone:
+        assert oracle.aware_of(name) == everyone - {name}
+
+
+def test_awareness_ordering_direct_subset_two_jump_subset_full():
+    scenario = line_topology(6, seed=59)
+    direct = DirectOnlyDiscovery(scenario.world, BLUETOOTH)
+    two_jump = TwoJumpDiscovery(scenario.world, BLUETOOTH)
+    full = FullMeshDiscovery(scenario.world, BLUETOOTH)
+    for name in scenario.nodes:
+        d = direct.aware_of(name)
+        t = two_jump.aware_of(name)
+        f = full.aware_of(name)
+        assert d <= t <= f

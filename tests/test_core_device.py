@@ -1,0 +1,92 @@
+"""Unit tests for device identity and the §3.4.3 mobility classes."""
+
+import pytest
+
+from repro.core.device import (
+    DeviceIdentity,
+    MobilityClass,
+    address_for,
+    mobility_addition,
+)
+
+
+def test_mobility_class_paper_values():
+    """§3.4.3: {Static, hybrid, dynamic} = {0, 1, 3}."""
+    assert MobilityClass.STATIC == 0
+    assert MobilityClass.HYBRID == 1
+    assert MobilityClass.DYNAMIC == 3
+
+
+def test_mobility_class_parse_accepts_names_any_case():
+    assert MobilityClass.parse("static") is MobilityClass.STATIC
+    assert MobilityClass.parse("Hybrid") is MobilityClass.HYBRID
+    assert MobilityClass.parse("DYNAMIC") is MobilityClass.DYNAMIC
+
+
+def test_mobility_class_parse_accepts_values_and_members():
+    assert MobilityClass.parse(0) is MobilityClass.STATIC
+    assert MobilityClass.parse(MobilityClass.DYNAMIC) is (
+        MobilityClass.DYNAMIC)
+
+
+def test_mobility_class_parse_rejects_unknown():
+    with pytest.raises(ValueError):
+        MobilityClass.parse("nomadic")
+    with pytest.raises(ValueError):
+        MobilityClass.parse(2)
+
+
+def test_mobility_addition_full_paper_table():
+    """The §3.4.3 table: all nine combinations and their sums."""
+    S, H, D = MobilityClass.STATIC, MobilityClass.HYBRID, (
+        MobilityClass.DYNAMIC)
+    expected = {
+        (S, S): 0,
+        (S, H): 1,
+        (H, S): 1,
+        (H, H): 2,
+        (S, D): 3,
+        (D, S): 3,
+        (H, D): 4,
+        (D, H): 4,
+        (D, D): 6,
+    }
+    for (first, second), total in expected.items():
+        assert mobility_addition(first, second) == total
+
+
+def test_mobility_addition_is_symmetric():
+    for first in MobilityClass:
+        for second in MobilityClass:
+            assert mobility_addition(first, second) == (
+                mobility_addition(second, first))
+
+
+def test_address_for_is_deterministic_and_mac_shaped():
+    address = address_for("laptop-d")
+    assert address == address_for("laptop-d")
+    parts = address.split(":")
+    assert len(parts) == 6
+    assert all(len(p) == 2 for p in parts)
+
+
+def test_address_for_distinct_names_distinct_addresses():
+    assert address_for("alpha") != address_for("beta")
+
+
+def test_identity_create_derives_address():
+    identity = DeviceIdentity.create("phone-a", "dynamic", checksum=42)
+    assert identity.address == address_for("phone-a")
+    assert identity.name == "phone-a"
+    assert identity.mobility is MobilityClass.DYNAMIC
+    assert identity.checksum == 42
+
+
+def test_identity_default_mobility_is_dynamic():
+    assert DeviceIdentity.create("x").mobility is MobilityClass.DYNAMIC
+
+
+def test_identity_wire_size_scales_with_name():
+    short = DeviceIdentity.create("a").wire_size()
+    long = DeviceIdentity.create("a-much-longer-device-name").wire_size()
+    assert long > short

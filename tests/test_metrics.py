@@ -1,0 +1,136 @@
+"""Unit tests for counters, traces and statistics."""
+
+import pytest
+
+from repro.metrics import EventTrace, TrafficMeter, summarize
+from repro.metrics.stats import percentile
+
+
+# ----------------------------------------------------------------------
+# TrafficMeter
+# ----------------------------------------------------------------------
+def test_meter_counts_messages_and_bytes():
+    meter = TrafficMeter()
+    meter.count("a", "data", 100)
+    meter.count("a", "data", 50)
+    meter.count("b", "discovery", 10)
+    assert meter.messages() == 3
+    assert meter.bytes() == 160
+    assert meter.messages(node="a") == 2
+    assert meter.bytes(node="a", category="data") == 150
+    assert meter.messages(category="discovery") == 1
+
+
+def test_meter_multi_message_count():
+    meter = TrafficMeter()
+    meter.count("a", "discovery", 96, messages=4)
+    assert meter.messages() == 4
+    assert meter.bytes() == 96
+
+
+def test_meter_rejects_negative_bytes():
+    meter = TrafficMeter()
+    with pytest.raises(ValueError):
+        meter.count("a", "data", -1)
+
+
+def test_meter_nodes_categories_and_per_node():
+    meter = TrafficMeter()
+    meter.count("b", "data", 10)
+    meter.count("a", "control", 5)
+    assert meter.nodes() == ["a", "b"]
+    assert meter.categories() == ["control", "data"]
+    assert meter.per_node() == {"a": 1, "b": 1}
+
+
+def test_meter_reset():
+    meter = TrafficMeter()
+    meter.count("a", "data", 10)
+    meter.reset()
+    assert meter.messages() == 0
+
+
+# ----------------------------------------------------------------------
+# EventTrace
+# ----------------------------------------------------------------------
+def test_trace_record_and_filter():
+    trace = EventTrace()
+    trace.record(1.0, "a", "connected", peer="b")
+    trace.record(2.0, "b", "connected", peer="a")
+    trace.record(3.0, "a", "handover")
+    assert len(trace) == 3
+    assert len(trace.events(kind="connected")) == 2
+    assert len(trace.events(node="a")) == 2
+    assert len(trace.events(kind="connected", node="a")) == 1
+
+
+def test_trace_first_last_count_times():
+    trace = EventTrace()
+    for t in (1.0, 5.0, 9.0):
+        trace.record(t, "x", "tick")
+    assert trace.first("tick").time == 1.0
+    assert trace.last("tick").time == 9.0
+    assert trace.count("tick") == 3
+    assert trace.times("tick") == [1.0, 5.0, 9.0]
+    assert trace.first("missing") is None
+    assert trace.last("missing") is None
+
+
+def test_trace_detail_is_captured():
+    trace = EventTrace()
+    event = trace.record(1.0, "n", "kind", value=42)
+    assert event.detail == {"value": 42}
+
+
+def test_trace_clear_and_iter():
+    trace = EventTrace()
+    trace.record(1.0, "a", "x")
+    assert len(list(trace)) == 1
+    trace.clear()
+    assert len(trace) == 0
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == 2.5
+    assert summary.median == 2.5
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.stdev > 0
+
+
+def test_summarize_single_value_has_zero_stdev():
+    summary = summarize([5.0])
+    assert summary.stdev == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_str_is_readable():
+    text = str(summarize([1.0, 2.0]))
+    assert "mean=" in text and "n=2" in text
+
+
+def test_percentile_interpolates():
+    values = [0.0, 10.0]
+    assert percentile(values, 0.0) == 0.0
+    assert percentile(values, 1.0) == 10.0
+    assert percentile(values, 0.5) == 5.0
+
+
+def test_percentile_median_of_odd_sample():
+    assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)

@@ -1,0 +1,153 @@
+"""Unit tests for mobility models."""
+
+import pytest
+
+from repro.mobility import (
+    CorridorWalk,
+    LinearMovement,
+    PathMovement,
+    RandomWaypoint,
+    StaticPosition,
+    distance,
+)
+from repro.sim.rng import RandomStream
+
+
+def test_distance_helper():
+    assert distance((0.0, 0.0), (3.0, 4.0)) == 5.0
+
+
+def test_static_position_never_moves():
+    model = StaticPosition(2.0, 3.0)
+    assert model.position(0.0) == (2.0, 3.0)
+    assert model.position(1e6) == (2.0, 3.0)
+    assert not model.is_mobile()
+
+
+def test_linear_movement_advances_with_time():
+    model = LinearMovement(start=(0.0, 0.0), velocity=(1.0, 2.0))
+    assert model.position(0.0) == (0.0, 0.0)
+    assert model.position(3.0) == (3.0, 6.0)
+
+
+def test_linear_movement_waits_until_start_time():
+    model = LinearMovement((5.0, 5.0), (1.0, 0.0), start_time=10.0)
+    assert model.position(4.0) == (5.0, 5.0)
+    assert model.position(12.0) == (7.0, 5.0)
+
+
+def test_linear_movement_zero_velocity_not_mobile():
+    assert not LinearMovement((0, 0), (0.0, 0.0)).is_mobile()
+    assert LinearMovement((0, 0), (0.1, 0.0)).is_mobile()
+
+
+def test_path_movement_interpolates():
+    model = PathMovement([(0.0, (0.0, 0.0)), (10.0, (10.0, 0.0))])
+    assert model.position(-1.0) == (0.0, 0.0)
+    assert model.position(5.0) == (5.0, 0.0)
+    assert model.position(99.0) == (10.0, 0.0)
+
+
+def test_path_movement_holds_between_identical_waypoints():
+    model = PathMovement([
+        (0.0, (0.0, 0.0)),
+        (5.0, (0.0, 0.0)),   # hold for 5 s
+        (10.0, (5.0, 0.0)),
+    ])
+    assert model.position(3.0) == (0.0, 0.0)
+    assert model.position(7.5) == (2.5, 0.0)
+
+
+def test_path_movement_requires_sorted_times():
+    with pytest.raises(ValueError):
+        PathMovement([(5.0, (0, 0)), (1.0, (1, 1))])
+
+
+def test_path_movement_requires_waypoints():
+    with pytest.raises(ValueError):
+        PathMovement([])
+
+
+def test_path_movement_total_distance():
+    model = PathMovement([
+        (0.0, (0.0, 0.0)), (1.0, (3.0, 4.0)), (2.0, (3.0, 4.0))])
+    assert model.total_distance() == 5.0
+    assert model.is_mobile()
+
+
+def test_corridor_walk_holds_then_departs():
+    walk = CorridorWalk(origin=(0.0, 0.0), heading_deg=0.0, speed=2.0,
+                        depart_time=10.0)
+    assert walk.position(5.0) == (0.0, 0.0)
+    x, y = walk.position(13.0)
+    assert x == pytest.approx(6.0)
+    assert y == pytest.approx(0.0)
+
+
+def test_corridor_walk_stop_distance():
+    walk = CorridorWalk((0.0, 0.0), speed=1.0, stop_distance=4.0)
+    x, _ = walk.position(100.0)
+    assert x == pytest.approx(4.0)
+
+
+def test_corridor_walk_time_to_distance():
+    walk = CorridorWalk((0.0, 0.0), speed=2.0, depart_time=3.0)
+    assert walk.time_to_distance(10.0) == pytest.approx(8.0)
+
+
+def test_corridor_walk_heading():
+    walk = CorridorWalk((0.0, 0.0), heading_deg=90.0, speed=1.0)
+    x, y = walk.position(5.0)
+    assert x == pytest.approx(0.0, abs=1e-9)
+    assert y == pytest.approx(5.0)
+
+
+def test_corridor_walk_rejects_bad_speed():
+    with pytest.raises(ValueError):
+        CorridorWalk((0, 0), speed=0.0)
+
+
+def test_random_waypoint_is_deterministic_per_stream():
+    model_a = RandomWaypoint(RandomStream(1, "rwp"), area=(50.0, 50.0))
+    model_b = RandomWaypoint(RandomStream(1, "rwp"), area=(50.0, 50.0))
+    samples_a = [model_a.position(t) for t in (0.0, 10.0, 25.0, 100.0)]
+    samples_b = [model_b.position(t) for t in (0.0, 10.0, 25.0, 100.0)]
+    assert samples_a == samples_b
+
+
+def test_random_waypoint_stays_in_area():
+    model = RandomWaypoint(RandomStream(2, "rwp"), area=(30.0, 20.0))
+    for t in range(0, 500, 7):
+        x, y = model.position(float(t))
+        assert -1e-9 <= x <= 30.0 + 1e-9
+        assert -1e-9 <= y <= 20.0 + 1e-9
+
+
+def test_random_waypoint_out_of_order_queries_consistent():
+    model = RandomWaypoint(RandomStream(3, "rwp"))
+    late = model.position(200.0)
+    early = model.position(50.0)
+    assert model.position(200.0) == late
+    assert model.position(50.0) == early
+
+
+def test_random_waypoint_honours_fixed_start():
+    model = RandomWaypoint(RandomStream(4, "rwp"), start=(5.0, 5.0),
+                           pause_range=(0.0, 0.0))
+    assert model.position(0.0) == (5.0, 5.0)
+
+
+def test_random_waypoint_rejects_bad_ranges():
+    rng = RandomStream(5, "rwp")
+    with pytest.raises(ValueError):
+        RandomWaypoint(rng, speed_range=(0.0, 1.0))
+    with pytest.raises(ValueError):
+        RandomWaypoint(rng, pause_range=(5.0, 1.0))
+
+
+def test_random_waypoint_actually_moves():
+    model = RandomWaypoint(RandomStream(6, "rwp"), area=(100.0, 100.0),
+                           pause_range=(0.0, 0.0))
+    start = model.position(0.0)
+    later = model.position(60.0)
+    assert start != later

@@ -1,0 +1,172 @@
+"""Unit tests for Resource / Lock / Store primitives."""
+
+import pytest
+
+from repro.sim import Lock, Resource, SimulationError, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    pool = Resource(sim, capacity=2)
+    a = pool.acquire()
+    b = pool.acquire()
+    assert a.triggered and b.triggered
+    assert pool.in_use == 2
+    assert pool.available == 0
+
+
+def test_resource_queues_beyond_capacity():
+    sim = Simulator()
+    pool = Resource(sim, capacity=1)
+    pool.acquire()
+    waiting = pool.acquire()
+    assert not waiting.triggered
+    assert pool.queue_length == 1
+    pool.release()
+    assert waiting.triggered
+    assert pool.queue_length == 0
+
+
+def test_resource_release_without_acquire_raises():
+    sim = Simulator()
+    pool = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_resource_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_fifo_grant_order():
+    sim = Simulator()
+    pool = Resource(sim, capacity=1)
+    grants = []
+
+    def user(sim, pool, tag, hold):
+        yield pool.acquire()
+        grants.append((tag, sim.now))
+        yield sim.timeout(hold)
+        pool.release()
+
+    sim.spawn(user(sim, pool, "a", 2.0))
+    sim.spawn(user(sim, pool, "b", 2.0))
+    sim.spawn(user(sim, pool, "c", 2.0))
+    sim.run()
+    assert grants == [("a", 0.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_resource_cancel_pending_request():
+    sim = Simulator()
+    pool = Resource(sim, capacity=1)
+    pool.acquire()
+    pending = pool.acquire()
+    assert pool.cancel(pending)
+    assert not pool.cancel(pending)  # already removed
+    pool.release()
+    assert pool.available == 1  # nobody waiting, slot freed
+
+
+def test_lock_reports_locked_state():
+    sim = Simulator()
+    lock = Lock(sim)
+    assert not lock.locked
+    lock.acquire()
+    assert lock.locked
+    lock.release()
+    assert not lock.locked
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    request = store.get()
+    assert request.triggered
+    sim.run()
+    assert request.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        received.append((item, sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(3.0)
+        store.put("late-item")
+
+    sim.spawn(consumer(sim, store))
+    sim.spawn(producer(sim, store))
+    sim.run()
+    assert received == [("late-item", 3.0)]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    for item in (1, 2, 3):
+        store.put(item)
+    out = []
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+
+    sim.spawn(consumer(sim, store))
+    sim.run()
+    assert out == [1, 2, 3]
+
+
+def test_store_multiple_getters_served_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer(sim, store, tag):
+        item = yield store.get()
+        out.append((tag, item))
+
+    sim.spawn(consumer(sim, store, "first"))
+    sim.spawn(consumer(sim, store, "second"))
+    sim.run(until=1.0)
+    assert store.pending_getters == 2
+    store.put("a")
+    store.put("b")
+    sim.run()
+    assert out == [("first", "a"), ("second", "b")]
+
+
+def test_store_get_nowait():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(7)
+    assert store.get_nowait() == 7
+    with pytest.raises(SimulationError):
+        store.get_nowait()
+
+
+def test_store_len_and_clear():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    store.clear()
+    assert len(store) == 0
+
+
+def test_store_cancel_pending_get():
+    sim = Simulator()
+    store = Store(sim)
+    request = store.get()
+    assert store.cancel(request)
+    store.put("orphan")
+    assert len(store) == 1  # cancelled getter did not consume it

@@ -1,0 +1,117 @@
+"""Unit tests for the inquiry-overlap discoverability model (§3.4.2)."""
+
+import pytest
+
+from repro.mobility import StaticPosition
+from repro.radio import BLUETOOTH, WLAN, World
+from repro.sim import Simulator
+
+
+def make_world():
+    sim = Simulator(seed=1)
+    world = World(sim)
+    world.add_node("a", StaticPosition(0, 0), [BLUETOOTH, WLAN])
+    world.add_node("b", StaticPosition(5, 0), [BLUETOOTH, WLAN])
+    return sim, world
+
+
+def advance(sim, dt):
+    sim.timeout(dt)
+    sim.run()
+
+
+def test_idle_node_is_discoverable_for_whole_window():
+    sim, world = make_world()
+    advance(sim, 50.0)
+    gap = world.max_discoverable_gap("b", BLUETOOTH, 10.0, 30.0)
+    assert gap == pytest.approx(20.0)
+    assert world.heard_during_scan("b", BLUETOOTH, 10.0, 30.0)
+
+
+def test_wlan_always_discoverable_even_while_inquiring():
+    sim, world = make_world()
+    world.mark_inquiring("b", WLAN, True)
+    advance(sim, 30.0)
+    gap = world.max_discoverable_gap("b", WLAN, 0.0, 30.0)
+    assert gap == pytest.approx(30.0)
+
+
+def test_full_scan_overlap_hides_bluetooth_node():
+    sim, world = make_world()
+    world.mark_inquiring("b", BLUETOOTH, True)
+    advance(sim, 40.0)
+    # b was inquiring for the whole window: zero discoverable gap.
+    gap = world.max_discoverable_gap("b", BLUETOOTH, 5.0, 35.0)
+    assert gap == 0.0
+    assert not world.heard_during_scan("b", BLUETOOTH, 5.0, 35.0)
+
+
+def test_partial_overlap_leaves_a_gap():
+    sim, world = make_world()
+    advance(sim, 10.0)
+    world.mark_inquiring("b", BLUETOOTH, True)   # t=10
+    advance(sim, 8.0)
+    world.mark_inquiring("b", BLUETOOTH, False)  # t=18
+    advance(sim, 20.0)
+    # Window [5, 25]: idle gaps are [5,10] (5 s) and [18,25] (7 s).
+    gap = world.max_discoverable_gap("b", BLUETOOTH, 5.0, 25.0)
+    assert gap == pytest.approx(7.0)
+    assert world.heard_during_scan("b", BLUETOOTH, 5.0, 25.0)
+
+
+def test_short_gap_below_response_window_misses():
+    sim, world = make_world()
+    advance(sim, 10.0)
+    world.mark_inquiring("b", BLUETOOTH, True)
+    advance(sim, 0.5)
+    world.mark_inquiring("b", BLUETOOTH, False)  # 0.5 s breather
+    advance(sim, 0.4)
+    world.mark_inquiring("b", BLUETOOTH, True)
+    advance(sim, 19.1)
+    world.mark_inquiring("b", BLUETOOTH, False)
+    # Window [10, 30]: largest idle gap is the 0.4 s breather < 1.0 s.
+    gap = world.max_discoverable_gap("b", BLUETOOTH, 10.0, 30.0)
+    assert gap == pytest.approx(0.4)
+    assert not world.heard_during_scan("b", BLUETOOTH, 10.0, 30.0)
+
+
+def test_gap_straddling_window_edges_is_clipped():
+    sim, world = make_world()
+    advance(sim, 100.0)
+    world.mark_inquiring("b", BLUETOOTH, True)   # t=100 onwards
+    advance(sim, 50.0)
+    # Window [90, 110]: idle only within [90, 100].
+    gap = world.max_discoverable_gap("b", BLUETOOTH, 90.0, 110.0)
+    assert gap == pytest.approx(10.0)
+
+
+def test_redundant_toggles_are_ignored():
+    sim, world = make_world()
+    world.mark_inquiring("b", BLUETOOTH, True)
+    world.mark_inquiring("b", BLUETOOTH, True)  # no-op
+    advance(sim, 5.0)
+    world.mark_inquiring("b", BLUETOOTH, False)
+    world.mark_inquiring("b", BLUETOOTH, False)  # no-op
+    history = world._inquiry_history[("b", BLUETOOTH.name)]
+    assert len(history) == 2
+
+
+def test_invalid_window_rejected():
+    sim, world = make_world()
+    with pytest.raises(ValueError):
+        world.max_discoverable_gap("b", BLUETOOTH, 10.0, 5.0)
+
+
+def test_history_is_pruned():
+    sim, world = make_world()
+    for _ in range(60):
+        world.mark_inquiring("b", BLUETOOTH, True)
+        advance(sim, 10.0)
+        world.mark_inquiring("b", BLUETOOTH, False)
+        advance(sim, 10.0)
+    history = world._inquiry_history[("b", BLUETOOTH.name)]
+    assert len(history) <= 32  # pruned well below 120 raw toggles
+    # Recent history still answers queries correctly.
+    now = sim.now
+    gap = world.max_discoverable_gap("b", BLUETOOTH, now - 10.0, now)
+    assert gap == pytest.approx(10.0)
