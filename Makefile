@@ -1,0 +1,33 @@
+# Developer entry points.  All targets run from the repo root; the
+# package lives under src/, so every python invocation sets PYTHONPATH.
+#
+#   make test         tier-1 test suite (unit + integration + property)
+#   make bench        every paper-reproduction + scale benchmark
+#   make bench-scale  just the spatial-grid scale benchmark (fast)
+#   make lint         byte-compile every source tree (syntax/tab check)
+#   make quickstart   run the two-device example end to end
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+BENCHES := $(wildcard benchmarks/bench_*.py)
+
+.PHONY: test bench bench-scale lint quickstart
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest $(BENCHES) -q -s
+
+bench-scale:
+	$(PYTHON) -m pytest benchmarks/bench_scale_neighbors.py -q -s
+
+# The container bakes in no external linter (flake8/ruff); compileall +
+# tabnanny catch syntax errors and indentation mixups without new deps.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m tabnanny src tests benchmarks examples
+
+quickstart:
+	$(PYTHON) examples/quickstart.py

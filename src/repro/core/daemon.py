@@ -8,6 +8,13 @@ Per the §3.5 redesign recommendation, plugins gather all fetched
 information first and apply it to the shared DeviceStorage in a single
 update phase, so no lock is needed (one simulator event is atomic — the
 moral equivalent of the short critical section the thesis asks for).
+
+Scaling: the daemon itself holds only per-device state (storage, registry,
+plugins).  The per-round cost of its discovery side is governed by the
+plugins' neighbor enumeration, which queries the world's spatial-grid
+index (O(neighbors), see :mod:`repro.radio.spatial`) rather than scanning
+every registered device — the property that keeps large-N scenarios
+(hundreds of devices, ``repro.scenarios.large_scale``) tractable.
 """
 
 from __future__ import annotations

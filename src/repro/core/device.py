@@ -8,6 +8,12 @@ Currently checksum is the same as daemon process ID number and is not used."
 §3.4.3 classifies devices into static / hybrid / dynamic with the numeric
 values {0, 1, 3} "to make easier the comparison during the device discovery
 process".
+
+The mobility *class* here is the advertised routing hint (how stable a hop
+through this device is); the physical counterpart is the node's mobility
+*model* (``repro.mobility``), which drives its position in the radio world
+and its spatial-grid cell.  ``docs/ARCHITECTURE.md`` maps both onto the
+paper's sections.
 """
 
 from __future__ import annotations

@@ -34,19 +34,26 @@ class Fabric:
         self.meter = TrafficMeter()
         self.trace = EventTrace()
         self._nodes: dict[str, "PeerHoodNode"] = {}
+        self._by_address: dict[str, "PeerHoodNode"] = {}
 
     # ------------------------------------------------------------------
     # registry
     # ------------------------------------------------------------------
     def register(self, node: "PeerHoodNode") -> None:
-        """Add a node; one per world node id."""
+        """Add a node; one per world node id (and per device address)."""
         if node.node_id in self._nodes:
             raise ValueError(f"node already registered: {node.node_id!r}")
+        if node.address in self._by_address:
+            raise ValueError(
+                f"address already registered: {node.address!r}")
         self._nodes[node.node_id] = node
+        self._by_address[node.address] = node
 
     def unregister(self, node_id: str) -> None:
         """Remove a node (power-off)."""
-        self._nodes.pop(node_id, None)
+        node = self._nodes.pop(node_id, None)
+        if node is not None:
+            self._by_address.pop(node.address, None)
 
     def node(self, node_id: str) -> "PeerHoodNode | None":
         """Look up a registered node."""
@@ -57,11 +64,13 @@ class Fabric:
         return [self._nodes[node_id] for node_id in sorted(self._nodes)]
 
     def node_by_address(self, address: str) -> "PeerHoodNode | None":
-        """Resolve a device address back to the node, if registered."""
-        for node in self._nodes.values():
-            if node.address == address:
-                return node
-        return None
+        """Resolve a device address back to the node, if registered.
+
+        O(1) via the address index (the seed scanned all nodes; discovery
+        resolves addresses for every fetched neighbourhood entry, so this
+        is on the per-round hot path at large N).
+        """
+        return self._by_address.get(address)
 
     def is_peerhood(self, node_id: str) -> bool:
         """The SDP check: does the node run a PeerHood daemon? (§2.3)."""

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import bisect
+
 from repro.mobility.base import MobilityModel, Point, distance
 from repro.sim.rng import RandomStream
 
@@ -42,8 +44,14 @@ class RandomWaypoint(MobilityModel):
         if start is None:
             start = (rng.uniform(0.0, area[0]), rng.uniform(0.0, area[1]))
         # Each leg: (start_time, end_time, from_point, to_point) followed by
-        # a pause until the next leg's start_time.
+        # a pause until the next leg's start_time.  ``_leg_starts`` mirrors
+        # the start times so ``position`` can bisect instead of scanning —
+        # the spatial-grid refresh evaluates every mobile node per
+        # timestep, so lookups must not degrade with elapsed sim time.
+        # The cache itself cannot be pruned: queries may legally arrive
+        # out of time order (see MobilityModel).
         self._legs: list[tuple[float, float, Point, Point]] = []
+        self._leg_starts: list[float] = []
         self._next_leg_start = 0.0
         self._current_point: Point = start
 
@@ -57,23 +65,26 @@ class RandomWaypoint(MobilityModel):
             leg_start = self._next_leg_start
             leg_end = leg_start + travel
             self._legs.append((leg_start, leg_end, origin, target))
+            self._leg_starts.append(leg_start)
             pause = self._rng.uniform(*self.pause_range)
             self._next_leg_start = leg_end + pause
             self._current_point = target
 
     def position(self, t: float) -> Point:
+        """Position at time ``t`` (sim-seconds); O(log legs) per call."""
         if t < 0:
             t = 0.0
         self._extend_until(t)
-        point = self._legs[0][2] if self._legs else self._current_point
-        for leg_start, leg_end, origin, target in self._legs:
-            if t < leg_start:
-                return point  # pausing at the previous target
-            if t <= leg_end:
-                if leg_end == leg_start:
-                    return target
-                fraction = (t - leg_start) / (leg_end - leg_start)
-                return (origin[0] + fraction * (target[0] - origin[0]),
-                        origin[1] + fraction * (target[1] - origin[1]))
-            point = target
-        return point
+        if not self._legs:
+            return self._current_point
+        index = bisect.bisect_right(self._leg_starts, t) - 1
+        if index < 0:
+            return self._legs[0][2]  # before the first departure
+        leg_start, leg_end, origin, target = self._legs[index]
+        if t > leg_end:
+            return target  # pausing at this leg's destination
+        if leg_end == leg_start:
+            return target
+        fraction = (t - leg_start) / (leg_end - leg_start)
+        return (origin[0] + fraction * (target[0] - origin[0]),
+                origin[1] + fraction * (target[1] - origin[1]))

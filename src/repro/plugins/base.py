@@ -137,16 +137,13 @@ class AbstractPlugin:
         finally:
             self.world.mark_inquiring(self.node_id, self.tech, False)
         scan_end = self.sim.now
-        heard: list[str] = []
-        for other_id in self.world.node_ids():
-            if other_id == self.node_id:
-                continue
-            if not self.world.in_range(self.node_id, other_id, self.tech):
-                continue
-            if self.world.heard_during_scan(other_id, self.tech,
-                                            scan_start, scan_end):
-                heard.append(other_id)
-        return heard
+        # Grid-backed neighbor enumeration: only the nodes in the 3x3
+        # cells around us are examined, not the whole world (O(neighbors)
+        # per scan instead of O(N); see radio/spatial.py).
+        return [other_id
+                for other_id in self.world.neighbors(self.node_id, self.tech)
+                if self.world.heard_during_scan(other_id, self.tech,
+                                                scan_start, scan_end)]
 
     def _fetch_information(
             self, other_id: str,

@@ -10,9 +10,12 @@ those radios with a 2-D world model:
 * :mod:`~repro.radio.propagation` — log-distance path loss → RSSI;
 * :mod:`~repro.radio.quality` — RSSI/distance → the PeerHood link-quality
   scale (0–255, "low" threshold 230, §3.4.1/Fig. 5.8);
+* :mod:`~repro.radio.spatial` — the uniform spatial-grid index (one grid
+  per technology, cell side = coverage radius) that makes neighbor
+  enumeration O(neighbors) instead of O(N);
 * :mod:`~repro.radio.world` — node positions (driven by mobility models),
-  range queries and quality lookups, plus the paper's artificial quality
-  decay fault injection (Fig. 5.8);
+  grid-backed range/neighbor queries and quality lookups, plus the paper's
+  artificial quality decay fault injection (Fig. 5.8);
 * :mod:`~repro.radio.channel` — physical link establishment and framed
   transmission with latency, loss on range exit, and teardown.
 """
@@ -25,6 +28,7 @@ from repro.radio.channel import (
     OutOfRange,
 )
 from repro.radio.propagation import LogDistancePathLoss, PathLossModel
+from repro.radio.spatial import SpatialGrid, WorldStats
 from repro.radio.quality import (
     PAPER_LOW_QUALITY_THRESHOLD,
     QUALITY_MAX,
@@ -56,8 +60,10 @@ __all__ = [
     "PiecewiseLinearQuality",
     "QUALITY_MAX",
     "QualityModel",
+    "SpatialGrid",
     "TECHNOLOGIES",
     "Technology",
     "WLAN",
     "World",
+    "WorldStats",
 ]

@@ -13,6 +13,13 @@ thesis observed:
   ("there exists the possibility to lose data due to Write function not
   being aware of the connection loss", §6.1);
 * closing a link wakes blocked receivers with :class:`ChannelClosed`.
+
+Scaling note: everything here is *pair-local*.  Range and quality checks
+on an established link are O(1) queries against the two endpoints'
+positions — they never enumerate the world, so link maintenance stays
+constant-cost as the node count grows (neighbor *enumeration* is the
+spatial grid's job; see :mod:`repro.radio.spatial`).  Units: metres,
+sim-seconds, bytes.
 """
 
 from __future__ import annotations
@@ -83,11 +90,13 @@ class Link:
         raise ValueError(f"{node_id!r} is not an endpoint of {self!r}")
 
     def quality(self) -> int:
-        """Current link quality as the monitor thread would read it."""
+        """Current link quality (0–255) as the monitor thread would read
+        it.  O(1) pair query."""
         return self.world.link_quality(self.node_a, self.node_b, self.tech)
 
     def in_range(self) -> bool:
-        """True while the endpoints are within radio range."""
+        """True while the endpoints are within radio range.  O(1) pair
+        query — independent of world size."""
         return self.world.in_range(self.node_a, self.node_b, self.tech)
 
     # ------------------------------------------------------------------

@@ -10,6 +10,15 @@ of behavioural fault injection used by the paper's experiments:
 * *quality overrides* — the Fig. 5.8 handover simulation artificially decays
   the monitored link quality by one unit per second; overrides replace the
   physical model for chosen pairs.
+
+Scaling: neighbor enumeration is served by per-technology
+:class:`~repro.radio.spatial.SpatialGrid` indexes (cell side = coverage
+radius), so one discovery round costs O(N · neighbors) distance checks
+instead of the seed's O(N²) pairwise scan.  Because positions are pure
+functions of virtual time, the grids are refreshed *lazily*: the first
+query after the clock advances re-buckets the mobile nodes, and every
+further query in the same instant reuses the synced index.  Units
+throughout: metres for distance, sim-seconds (virtual seconds) for time.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import typing
 
 from repro.mobility.base import MobilityModel, Point, distance
 from repro.radio.quality import PiecewiseLinearQuality, QualityModel
+from repro.radio.spatial import SpatialGrid, WorldStats
 from repro.radio.technologies import Technology, get_technology
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -43,7 +53,13 @@ class WorldNode:
 
 
 class World:
-    """Container of nodes plus geometry and link-quality queries."""
+    """Container of nodes plus geometry and link-quality queries.
+
+    The world is the single source of physical truth: every range,
+    neighbor and quality question the middleware asks goes through here.
+    ``stats`` (a :class:`~repro.radio.spatial.WorldStats`) counts distance
+    computations and grid activity for the scale benchmarks.
+    """
 
     def __init__(self, sim: "Simulator",
                  quality_model: QualityModel | None = None):
@@ -56,13 +72,23 @@ class World:
         # by the interval-overlap discoverability query.  Pruned lazily.
         self._inquiry_history: dict[
             tuple[str, str], list[tuple[float, bool]]] = {}
+        # One spatial grid per technology name, built lazily on the first
+        # neighbor query for that technology and synced to ``_grid_synced``.
+        self._grids: dict[str, SpatialGrid] = {}
+        self._grid_synced: dict[str, float] = {}
+        self.stats = WorldStats()
 
     # ------------------------------------------------------------------
     # node management
     # ------------------------------------------------------------------
     def add_node(self, node_id: str, mobility: MobilityModel,
                  technologies: typing.Iterable[Technology | str]) -> WorldNode:
-        """Register a node.  ``technologies`` may mix names and objects."""
+        """Register a node.  ``technologies`` may mix names and objects.
+
+        O(G) for G already-built grids (the node is indexed into each
+        grid whose technology it carries).  Raises ``ValueError`` on a
+        duplicate id or an empty technology set.
+        """
         if node_id in self._nodes:
             raise ValueError(f"duplicate node id: {node_id!r}")
         names = frozenset(
@@ -74,21 +100,41 @@ class World:
             get_technology(name)  # validate early
         node = WorldNode(node_id, mobility, names)
         self._nodes[node_id] = node
+        for tech_name, grid in self._grids.items():
+            if tech_name in names:
+                grid.insert(node_id, mobility.position(self.sim.now),
+                            mobile=mobility.is_mobile())
         return node
 
     def remove_node(self, node_id: str) -> None:
-        """Remove a node (power-off); pending overrides are kept harmless."""
+        """Remove a node (power-off), evicting *all* state that names it.
+
+        Spatial-grid entries, quality overrides referencing the node (on
+        either side of the pair), inquiry marks and the inquiry toggle log
+        are all dropped, so a node re-added later under the same id starts
+        physically fresh.  O(G + overrides).  Raises ``KeyError`` if the
+        node is unknown.
+        """
         self._node(node_id)  # raise if unknown
         del self._nodes[node_id]
+        for grid in self._grids.values():
+            if node_id in grid:
+                grid.remove(node_id)
+        self._overrides = {
+            key: override for key, override in self._overrides.items()
+            if node_id not in (key[0], key[1])}
         self._inquiring = {
             key for key in self._inquiring if key[0] != node_id}
+        self._inquiry_history = {
+            key: history for key, history in self._inquiry_history.items()
+            if key[0] != node_id}
 
     def node_ids(self) -> list[str]:
-        """All registered node ids, sorted for determinism."""
+        """All registered node ids, sorted for determinism.  O(N log N)."""
         return sorted(self._nodes)
 
     def has_node(self, node_id: str) -> bool:
-        """True if the node exists."""
+        """True if the node exists.  O(1)."""
         return node_id in self._nodes
 
     def _node(self, node_id: str) -> WorldNode:
@@ -98,30 +144,37 @@ class World:
             raise KeyError(f"unknown node: {node_id!r}") from None
 
     def node(self, node_id: str) -> WorldNode:
-        """Public lookup of a node record."""
+        """Public lookup of a node record.  O(1); ``KeyError`` if absent."""
         return self._node(node_id)
 
     def supports(self, node_id: str, tech: Technology) -> bool:
-        """True if the node has the given radio fitted."""
+        """True if the node has the given radio fitted.  O(1)."""
         return tech.name in self._node(node_id).technologies
 
     # ------------------------------------------------------------------
     # geometry
     # ------------------------------------------------------------------
     def position(self, node_id: str) -> Point:
-        """The node's position at the current virtual time."""
+        """The node's position (metres) at the current virtual time.
+
+        Cost is the mobility model's evaluation at ``sim.now`` — O(1) for
+        static/linear models, O(log legs) for random waypoint (its leg
+        cache is bisected, never scanned).
+        """
         return self._node(node_id).mobility.position(self.sim.now)
 
     def distance(self, a: str, b: str) -> float:
-        """Distance between two nodes now, in metres."""
+        """Euclidean distance between two nodes now, in metres.  O(1)."""
+        self.stats.distance_checks += 1
         return distance(self.position(a), self.position(b))
 
     def in_range(self, a: str, b: str, tech: Technology) -> bool:
         """True if both nodes have ``tech`` and are within its radius.
 
-        A node that has been removed from the world (powered off, battery
-        pulled) is simply out of range of everything — links to it break
-        rather than the query crashing.
+        A pair query — O(1), no grid involved.  A node that has been
+        removed from the world (powered off, battery pulled) is simply out
+        of range of everything — links to it break rather than the query
+        crashing.
         """
         if a == b:
             return False
@@ -130,6 +183,89 @@ class World:
         if not (self.supports(a, tech) and self.supports(b, tech)):
             return False
         return self.distance(a, b) <= tech.range_m
+
+    # ------------------------------------------------------------------
+    # spatial index
+    # ------------------------------------------------------------------
+    def _grid_for(self, tech: Technology) -> SpatialGrid:
+        """The synced spatial grid for ``tech``, built on first use.
+
+        Build: O(N).  Refresh after the clock advanced: O(M) for M mobile
+        nodes carrying the technology (static nodes are never revisited).
+        Same-instant queries: O(1).
+        """
+        now = self.sim.now
+        grid = self._grids.get(tech.name)
+        if grid is None:
+            grid = SpatialGrid(cell_size=tech.range_m)
+            for node in self._nodes.values():
+                if tech.name in node.technologies:
+                    grid.insert(node.node_id,
+                                node.mobility.position(now),
+                                mobile=node.mobility.is_mobile())
+            self._grids[tech.name] = grid
+            self._grid_synced[tech.name] = now
+            return grid
+        if self._grid_synced[tech.name] != now:
+            self.stats.grid_refreshes += 1
+            nodes = self._nodes
+            for node_id in grid.mobile_ids():
+                grid.move(node_id, nodes[node_id].mobility.position(now))
+            self._grid_synced[tech.name] = now
+        return grid
+
+    def neighbors(self, node_id: str, tech: Technology) -> list[str]:
+        """All nodes in range on ``tech`` (ignoring discoverability).
+
+        Grid-backed: O(K log K) for K candidates in the 3 × 3 cells
+        around the node — independent of the total node count.  Returns a
+        sorted list; an unknown ``node_id`` or one without the radio
+        yields ``[]`` (matching :meth:`in_range`'s forgiving semantics).
+        """
+        node = self._nodes.get(node_id)
+        if node is None or tech.name not in node.technologies:
+            return []
+        self.stats.neighbor_queries += 1
+        grid = self._grid_for(tech)
+        center = grid.point(node_id)
+        range_m = tech.range_m
+        stats = self.stats
+        found = []
+        for other_id in grid.candidates(center, range_m):
+            if other_id == node_id:
+                continue
+            stats.distance_checks += 1
+            if distance(center, grid.point(other_id)) <= range_m:
+                found.append(other_id)
+        return sorted(found)
+
+    def neighbors_brute_force(self, node_id: str,
+                              tech: Technology) -> list[str]:
+        """Reference O(N) pairwise implementation of :meth:`neighbors`.
+
+        Kept as the verification oracle (the property tests assert it
+        always agrees with the grid) and as the baseline the scale
+        benchmark measures against.  Semantics are identical, including
+        the empty result for unknown or radio-less nodes.
+        """
+        node = self._nodes.get(node_id)
+        if node is None or tech.name not in node.technologies:
+            return []
+        now = self.sim.now
+        center = node.mobility.position(now)
+        range_m = tech.range_m
+        stats = self.stats
+        found = []
+        for other_id in sorted(self._nodes):
+            if other_id == node_id:
+                continue
+            other = self._nodes[other_id]
+            if tech.name not in other.technologies:
+                continue
+            stats.distance_checks += 1
+            if distance(center, other.mobility.position(now)) <= range_m:
+                found.append(other_id)
+        return found
 
     # ------------------------------------------------------------------
     # link quality
@@ -141,7 +277,11 @@ class World:
 
     def set_quality_override(self, a: str, b: str, tech: Technology,
                              override: QualityOverride | None) -> None:
-        """Install (or clear, with None) an artificial quality function."""
+        """Install (or clear, with None) an artificial quality function.
+
+        The override is symmetric in the pair and keyed per technology;
+        O(1).  It survives until cleared or either node is removed.
+        """
         key = self._override_key(a, b, tech)
         if override is None:
             self._overrides.pop(key, None)
@@ -154,8 +294,9 @@ class World:
                              start_time: float | None = None) -> None:
         """The paper's Fig. 5.8 fault injection.
 
-        From ``start_time`` (default: now) the reported quality for the pair
-        is ``initial_quality - decay_per_second * elapsed``, floored at 0.
+        From ``start_time`` (default: now, in sim-seconds) the reported
+        quality for the pair is ``initial_quality - decay_per_second *
+        elapsed``, floored at 0.
         """
         t0 = self.sim.now if start_time is None else start_time
 
@@ -166,7 +307,11 @@ class World:
         self.set_quality_override(a, b, tech, decayed)
 
     def link_quality(self, a: str, b: str, tech: Technology) -> int:
-        """Current link quality (0–255); 0 when out of range or no radio."""
+        """Current link quality (0–255); 0 when out of range or no radio.
+
+        A pair query — O(1): override lookup, then the physical model on
+        the pair distance.
+        """
         override = self._overrides.get(self._override_key(a, b, tech))
         if override is not None:
             value = override(self.sim.now)
@@ -179,13 +324,17 @@ class World:
     # ------------------------------------------------------------------
     # discovery support
     # ------------------------------------------------------------------
-    #: Toggle-log entries older than this are pruned (no scan looks back
-    #: further than one inquiry duration).
+    #: Toggle-log entries older than this (sim-seconds) are pruned (no scan
+    #: looks back further than one inquiry duration).
     _HISTORY_HORIZON_S = 120.0
 
     def mark_inquiring(self, node_id: str, tech: Technology,
                        inquiring: bool) -> None:
-        """Record that a node is running a discovery scan on ``tech``."""
+        """Record that a node is running a discovery scan on ``tech``.
+
+        O(1) amortised (the toggle log is pruned lazily).  Idempotent for
+        repeated marks in the same state.
+        """
         key = (node_id, tech.name)
         already = key in self._inquiring
         if inquiring == already:
@@ -202,11 +351,11 @@ class World:
                 history.pop(0)
 
     def is_inquiring(self, node_id: str, tech: Technology) -> bool:
-        """True while the node is scanning on ``tech``."""
+        """True while the node is scanning on ``tech``.  O(1)."""
         return (node_id, tech.name) in self._inquiring
 
     def is_discoverable(self, node_id: str, tech: Technology) -> bool:
-        """Can an inquiry find this node right now?
+        """Can an inquiry find this node right now?  O(1).
 
         Bluetooth's asymmetric discovery (§3.4.2): a node that is itself
         inquiring cannot be discovered.
@@ -222,11 +371,13 @@ class World:
                              window_end: float) -> float:
         """Longest contiguous non-inquiring stretch inside the window.
 
-        For technologies that stay discoverable while scanning this is the
-        whole window.  For Bluetooth it walks the inquiry toggle log: a
-        peer can only answer our inquiry during its own idle gaps, and the
-        inquiry protocol needs a minimum contiguous gap to complete the
-        exchange (``tech.response_window_s``).
+        Window bounds and the returned gap are sim-seconds; O(H) in the
+        (pruned, ≤16-entry) toggle-log length.  For technologies that stay
+        discoverable while scanning this is the whole window.  For
+        Bluetooth it walks the inquiry toggle log: a peer can only answer
+        our inquiry during its own idle gaps, and the inquiry protocol
+        needs a minimum contiguous gap to complete the exchange
+        (``tech.response_window_s``).
         """
         if window_end < window_start:
             raise ValueError("window end before start")
@@ -259,29 +410,21 @@ class World:
 
     def heard_during_scan(self, node_id: str, tech: Technology,
                           window_start: float, window_end: float) -> bool:
-        """Would an inquiry over the window have heard this node?"""
+        """Would an inquiry over the window (sim-seconds) have heard this
+        node?  O(H) in the toggle-log length."""
         gap = self.max_discoverable_gap(node_id, tech, window_start,
                                         window_end)
         return gap >= tech.response_window_s
 
     def discoverable_neighbors(self, node_id: str,
                                tech: Technology) -> list[str]:
-        """Nodes in range on ``tech`` that an inquiry would find now."""
+        """Nodes in range on ``tech`` that an inquiry would find now.
+
+        Grid-backed like :meth:`neighbors` (O(K) candidates, not O(N)),
+        then filtered by :meth:`is_discoverable`.  Sorted; ``KeyError``
+        if ``node_id`` is unknown.
+        """
         if not self.supports(node_id, tech):
             return []
-        found = []
-        for other_id in self.node_ids():
-            if other_id == node_id:
-                continue
-            if not self.in_range(node_id, other_id, tech):
-                continue
-            if not self.is_discoverable(other_id, tech):
-                continue
-            found.append(other_id)
-        return found
-
-    def neighbors(self, node_id: str, tech: Technology) -> list[str]:
-        """All nodes in range on ``tech`` (ignoring discoverability)."""
-        return [other_id for other_id in self.node_ids()
-                if other_id != node_id
-                and self.in_range(node_id, other_id, tech)]
+        return [other_id for other_id in self.neighbors(node_id, tech)
+                if self.is_discoverable(other_id, tech)]

@@ -4,10 +4,18 @@
 world and a fabric, with convenience methods to add PeerHood nodes.
 :mod:`~repro.scenarios.topologies` provides the exact layouts of the
 thesis' figures (3.3, 3.6, 3.9, 4.5, 5.8, 6.1) plus generic lines, grids
-and random discs for sweeps.
+and random discs for sweeps.  :mod:`~repro.scenarios.large_scale` adds
+the production-scale family (dense plaza, sparse highway, flash-crowd
+churn) that stresses the spatial-grid discovery path at hundreds of
+nodes.
 """
 
 from repro.scenarios.builder import Scenario
+from repro.scenarios.large_scale import (
+    dense_plaza,
+    flash_crowd,
+    sparse_highway,
+)
 from repro.scenarios.topologies import (
     fig_3_3_coverage_exclusion,
     fig_3_6_dynamic_discovery,
@@ -21,12 +29,15 @@ from repro.scenarios.topologies import (
 
 __all__ = [
     "Scenario",
+    "dense_plaza",
     "fig_3_3_coverage_exclusion",
     "fig_3_6_dynamic_discovery",
     "fig_3_9_quality_equity",
     "fig_4_5_bridge_test",
     "fig_5_8_handover",
+    "flash_crowd",
     "line_topology",
     "random_disc",
+    "sparse_highway",
     "tunnel_topology",
 ]

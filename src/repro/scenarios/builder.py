@@ -7,6 +7,10 @@ Everything in ``examples/`` and ``benchmarks/`` goes through this::
     phone = scenario.add_node("phone", position=(5, 0))
     scenario.start_all()
     scenario.run(until=120)
+
+Units follow the rest of the stack: positions and distances in metres,
+all times in sim-seconds (the simulator's virtual clock).  Nodes may be
+added — and, for churn scenarios, removed — while the simulation runs.
 """
 
 from __future__ import annotations
@@ -44,10 +48,14 @@ class Scenario:
                  technologies: typing.Sequence[str] = ("bluetooth",),
                  mobility_class: str = "dynamic",
                  config: DaemonConfig | None = None) -> PeerHoodNode:
-        """Add a PeerHood device.
+        """Add a PeerHood device (allowed mid-run for churn scenarios).
 
-        Give either ``position`` (a static point) or ``mobility`` (any
-        mobility model); ``mobility`` wins when both are supplied.
+        Give either ``position`` (a static point, metres) or ``mobility``
+        (any mobility model); ``mobility`` wins when both are supplied.
+        The node is registered in the radio world — including any
+        already-built spatial grids for its technologies — but its daemon
+        is *not* started (call ``node.start()`` or :meth:`start_all`).
+        O(1) plus one grid insert per carried technology.
         """
         if mobility is None:
             if position is None:
@@ -61,20 +69,37 @@ class Scenario:
         self.nodes[name] = node
         return node
 
+    def remove_node(self, name: str) -> None:
+        """Power a device off and drop it from the scenario (mid-run safe).
+
+        The daemon stops, the node leaves the fabric registry and the
+        radio world (spatial-grid entries and quality overrides naming it
+        are evicted — see :meth:`repro.radio.world.World.remove_node`).
+        Other nodes simply observe it falling out of range; their storage
+        entries age out over the following discovery loops.  O(grids +
+        overrides).  Raises ``KeyError`` for an unknown name.
+        """
+        try:
+            node = self.nodes.pop(name)
+        except KeyError:
+            raise KeyError(f"unknown scenario node: {name!r}") from None
+        node.power_off()
+
     def node(self, name: str) -> PeerHoodNode:
-        """Look up a node by name."""
+        """Look up a node by name.  O(1); ``KeyError`` if absent."""
         return self.nodes[name]
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def start_all(self) -> None:
-        """Start every daemon."""
+        """Start every currently-added daemon (idempotent per daemon)."""
         for node in self.nodes.values():
             node.start()
 
     def run(self, until: float | None = None) -> None:
-        """Advance the simulation."""
+        """Advance the simulation to ``until`` (absolute sim-seconds), or
+        drain the event heap when ``until`` is None."""
         self.sim.run(until=until)
 
     def run_process(self, generator: typing.Generator,
@@ -84,7 +109,8 @@ class Scenario:
         return self.sim.run(until=process)
 
     def settle_discovery(self, duration: float = 120.0) -> None:
-        """Run long enough for discovery to converge (several BT cycles)."""
+        """Run ``duration`` sim-seconds — long enough, by default, for
+        discovery to converge (several Bluetooth inquiry cycles)."""
         self.sim.run(until=self.sim.now + duration)
 
     def wait_for_route(self, from_name: str, to_name: str,
@@ -92,8 +118,9 @@ class Scenario:
                        poll_s: float = 5.0) -> bool:
         """Advance the simulation until ``from_name`` has a route to
         ``to_name`` in its DeviceStorage (what a real application does by
-        polling GetDeviceList before connecting).  Returns False if the
-        route never appeared within the timeout."""
+        polling GetDeviceList before connecting).  ``timeout_s`` and
+        ``poll_s`` are sim-seconds.  Returns False if the route never
+        appeared within the timeout."""
         source = self.nodes[from_name]
         target_address = self.nodes[to_name].address
 
@@ -122,7 +149,11 @@ class Scenario:
         return self.fabric.meter
 
     def awareness(self, name: str) -> set[str]:
-        """Node names this node currently knows about (any jump count)."""
+        """Node names this node currently knows about (any jump count).
+
+        O(K) for K stored devices (address resolution is O(1) via the
+        fabric index).
+        """
         node = self.nodes[name]
         known = set()
         for device in node.daemon.storage.devices():
@@ -132,7 +163,8 @@ class Scenario:
         return known
 
     def awareness_fraction(self, name: str) -> float:
-        """Fraction of the *other* PeerHood nodes this node knows about."""
+        """Fraction of the *other* PeerHood nodes this node knows about
+        (1.0 for a singleton scenario).  O(K)."""
         others = len(self.nodes) - 1
         if others <= 0:
             return 1.0

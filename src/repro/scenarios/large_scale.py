@@ -1,0 +1,156 @@
+"""Large-N scenario family: dense plaza, sparse highway, flash crowd.
+
+The paper evaluated PeerHood with a handful of laptops and phones; the
+ROADMAP's north star is production scale.  These builders generate the
+workloads that stress the discovery layer at hundreds of devices — the
+regime where the seed's O(N²) pairwise neighbor scan collapsed and the
+spatial-grid index (:mod:`repro.radio.spatial`) is load-bearing.
+
+Three density regimes, chosen to exercise the grid differently:
+
+* :func:`dense_plaza` — many slow pedestrians packed into a small square;
+  high cell occupancy, neighbor lists dominated by genuine neighbors.
+* :func:`sparse_highway` — fast vehicles strung along kilometres of road;
+  most grid cells empty, neighbor lists short, heavy re-bucketing as
+  vehicles cross cell boundaries every few sim-seconds.
+* :func:`flash_crowd` — a resident population plus hundreds of transient
+  walkers arriving in a burst and leaving again; exercises mid-run
+  ``add_node``/``remove_node`` churn, including spatial-grid insertion
+  and eviction while discovery loops are running.
+
+All builders return an unstarted :class:`~repro.scenarios.builder.
+Scenario` (call ``start_all()``); distances in metres, times in
+sim-seconds.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.config import DaemonConfig
+from repro.mobility.linear import LinearMovement
+from repro.mobility.waypoint import RandomWaypoint
+from repro.scenarios.builder import Scenario
+
+
+def dense_plaza(count: int, area: float = 60.0, seed: int = 0,
+                technologies: typing.Sequence[str] = ("bluetooth",),
+                speed_range: tuple[float, float] = (0.3, 1.5),
+                pause_range: tuple[float, float] = (0.0, 30.0),
+                config: DaemonConfig | None = None) -> Scenario:
+    """``count`` pedestrians random-waypointing in an ``area`` × ``area``
+    metre square (nodes ``p0`` … ``p{count-1}``).
+
+    With the defaults and Bluetooth's 10 m radius, 300 pedestrians on a
+    60 m square average ~26 neighbors each — dense enough that discovery
+    cost is dominated by genuine neighbors, which is exactly the regime
+    where the grid's O(neighbors) query wins over the O(N) scan.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one pedestrian, got {count}")
+    if area <= 0:
+        raise ValueError(f"area must be positive: {area}")
+    scenario = Scenario(seed=seed)
+    for index in range(count):
+        mobility = RandomWaypoint(
+            scenario.sim.rng(f"plaza/{index}"), area=(area, area),
+            speed_range=speed_range, pause_range=pause_range)
+        scenario.add_node(f"p{index}", mobility=mobility,
+                          technologies=technologies,
+                          mobility_class="dynamic", config=config)
+    return scenario
+
+
+def sparse_highway(count: int, length_m: float = 2000.0, lanes: int = 2,
+                   lane_spacing_m: float = 4.0,
+                   speed_range: tuple[float, float] = (22.0, 33.0),
+                   seed: int = 0,
+                   technologies: typing.Sequence[str] = ("wlan",),
+                   config: DaemonConfig | None = None) -> Scenario:
+    """``count`` vehicles (``v0`` …) on a straight ``length_m``-metre road.
+
+    Vehicles are scattered uniformly along the road in ``lanes`` lanes
+    ``lane_spacing_m`` apart; even lanes drive +x, odd lanes −x, each at
+    a constant speed drawn from ``speed_range`` (m/s — the default is
+    motorway pace, ~80–120 km/h).  Density is low (tens of metres
+    between WLAN-range encounters) and relative speeds are high, so
+    neighbor sets are short-lived and the spatial grid re-buckets
+    constantly — the opposite stress from :func:`dense_plaza`.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one vehicle, got {count}")
+    if length_m <= 0 or lanes < 1:
+        raise ValueError("highway needs positive length and >= 1 lane")
+    scenario = Scenario(seed=seed)
+    rng = scenario.sim.rng("highway/layout")
+    for index in range(count):
+        lane = index % lanes
+        heading = 1.0 if lane % 2 == 0 else -1.0
+        start = (rng.uniform(0.0, length_m), lane * lane_spacing_m)
+        speed = rng.uniform(*speed_range)
+        scenario.add_node(
+            f"v{index}",
+            mobility=LinearMovement(start, (heading * speed, 0.0)),
+            technologies=technologies,
+            mobility_class="dynamic", config=config)
+    return scenario
+
+
+def flash_crowd(base_count: int = 20, crowd_count: int = 200,
+                area: float = 80.0, arrive_start_s: float = 30.0,
+                mean_interarrival_s: float = 1.0,
+                dwell_range_s: tuple[float, float] = (60.0, 240.0),
+                seed: int = 0,
+                technologies: typing.Sequence[str] = ("bluetooth",),
+                config: DaemonConfig | None = None) -> Scenario:
+    """A resident population plus a transient crowd churning through.
+
+    ``base_count`` residents (``r0`` …) roam the square permanently.
+    From ``arrive_start_s`` a churn process injects ``crowd_count``
+    walkers (``c0`` …) with exponential inter-arrival times (mean
+    ``mean_interarrival_s``); each crowd walker powers on, runs a full
+    PeerHood daemon, dwells for a uniform draw from ``dwell_range_s``
+    and is then powered off via :meth:`Scenario.remove_node` — the
+    world-level eviction path (spatial grids, quality overrides,
+    inquiry state) runs under live discovery traffic.
+
+    Start the residents with ``start_all()`` before running; crowd
+    walkers start their own daemons on arrival.  The churn process is
+    already spawned — just ``run(until=...)``.
+    """
+    if base_count < 0 or crowd_count < 0:
+        raise ValueError("node counts must be non-negative")
+    if mean_interarrival_s <= 0:
+        raise ValueError(
+            f"mean interarrival must be positive: {mean_interarrival_s}")
+    scenario = Scenario(seed=seed)
+    for index in range(base_count):
+        mobility = RandomWaypoint(
+            scenario.sim.rng(f"flash/base/{index}"), area=(area, area))
+        scenario.add_node(f"r{index}", mobility=mobility,
+                          technologies=technologies,
+                          mobility_class="dynamic", config=config)
+
+    def depart_later(sim, name: str, dwell_s: float):
+        yield sim.timeout(dwell_s)
+        if name in scenario.nodes:
+            scenario.remove_node(name)
+
+    def churn(sim):
+        rng = sim.rng("flash/churn")
+        yield sim.timeout(arrive_start_s)
+        for index in range(crowd_count):
+            name = f"c{index}"
+            mobility = RandomWaypoint(
+                sim.rng(f"flash/crowd/{index}"), area=(area, area))
+            node = scenario.add_node(name, mobility=mobility,
+                                     technologies=technologies,
+                                     mobility_class="dynamic", config=config)
+            node.start()
+            sim.spawn(
+                depart_later(sim, name, rng.uniform(*dwell_range_s)),
+                name=f"flash-depart:{name}")
+            yield sim.timeout(rng.expovariate(1.0 / mean_interarrival_s))
+
+    scenario.sim.spawn(churn(scenario.sim), name="flash-crowd-churn")
+    return scenario

@@ -14,12 +14,14 @@ from repro.core.device_storage import DeviceStorage
 from repro.core.protocol import NeighbourEntry
 from repro.core.routing import RouteMetrics, best_route, is_better_route
 from repro.metrics.stats import percentile, summarize
-from repro.mobility import PathMovement
+from repro.mobility import PathMovement, RandomWaypoint, StaticPosition
+from repro.radio import BLUETOOTH, WLAN, World
 from repro.radio.quality import (
     QUALITY_MAX,
     PiecewiseLinearQuality,
     clamp_quality,
 )
+from repro.sim import Simulator
 
 mobility_classes = st.sampled_from(list(MobilityClass))
 
@@ -197,6 +199,50 @@ def test_storage_invariants_hold_under_any_sequence(operations):
                 assert device.jump <= storage.policy.max_jump
             # 5. quality figures stay on the scale
             assert device.route.min_link_quality <= device.route.quality_sum
+
+
+# ----------------------------------------------------------------------
+# spatial grid vs brute force: the neighbor oracle
+# ----------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       count=st.integers(min_value=2, max_value=18),
+       steps=st.lists(st.floats(min_value=0.1, max_value=60.0),
+                      min_size=1, max_size=5),
+       removals=st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_grid_neighbors_equal_brute_force_under_motion(
+        seed, count, steps, removals):
+    """Grid-backed ``neighbors()`` must equal the O(N) pairwise result at
+    every instant, for every node and technology, under random-waypoint
+    motion, mixed radios, mixed static/mobile nodes and mid-run node
+    removal (ISSUE 1 acceptance criterion)."""
+    sim = Simulator(seed=seed)
+    world = World(sim)
+    for index in range(count):
+        name = f"n{index}"
+        if index % 4 == 0:
+            mobility = StaticPosition(7.0 * index, 3.0 * (index % 3))
+        else:
+            mobility = RandomWaypoint(
+                sim.rng(f"rwp/{name}"), area=(45.0, 45.0),
+                speed_range=(0.5, 4.0), pause_range=(0.0, 5.0))
+        technologies = (["bluetooth"] if index % 3 else ["bluetooth", "wlan"])
+        world.add_node(name, mobility, technologies)
+
+    def check_all():
+        for node_id in world.node_ids():
+            for tech in (BLUETOOTH, WLAN):
+                assert (world.neighbors(node_id, tech)
+                        == world.neighbors_brute_force(node_id, tech)), (
+                    node_id, tech.name, sim.now)
+
+    check_all()
+    for index, step in enumerate(steps):
+        sim.timeout(step)
+        sim.run()
+        if index < removals and len(world.node_ids()) > 1:
+            world.remove_node(world.node_ids()[index % len(world.node_ids())])
+        check_all()
 
 
 # ----------------------------------------------------------------------
