@@ -4,6 +4,7 @@
 #   make test         tier-1 test suite (unit + integration + property)
 #   make bench        every paper-reproduction + scale benchmark
 #   make bench-scale  just the spatial-grid scale benchmark (fast)
+#   make sweep        run the demo_sweep experiment campaign (4 workers)
 #   make lint         byte-compile every source tree (syntax/tab check)
 #   make quickstart   run the two-device example end to end
 
@@ -12,7 +13,7 @@ export PYTHONPATH := src
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test bench bench-scale lint quickstart
+.PHONY: test bench bench-scale sweep lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +23,12 @@ bench:
 
 bench-scale:
 	$(PYTHON) -m pytest benchmarks/bench_scale_neighbors.py -q -s
+
+# The reference experiment campaign: 24 runs (2 scenarios x 2 node
+# counts x 2 radio mixes x 3 repeats) -> results/demo_sweep/.  Output
+# is byte-identical at any --workers value.
+sweep:
+	$(PYTHON) -m repro.experiments run demo_sweep --workers 4
 
 # The container bakes in no external linter (flake8/ruff); compileall +
 # tabnanny catch syntax errors and indentation mixups without new deps.

@@ -3,60 +3,28 @@
 Paper artifact: "Max Delay = Num Jump * searching cycle time", and for
 Bluetooth the asymmetric discovery makes it "even bigger".
 
-Method: a line of settled nodes; a new device powers on next to the far
-end; we measure when the near end (n0) learns of it.  The delay must
-grow with the jump distance and stay within a small multiple of the
-search cycle per jump.
+Method: the bundled ``delay_sweep`` spec (chain length × repeats,
+``line_delay`` workload: a line of settled nodes, a new device powers on
+next to the far end, measure when n0 learns of it) executed through the
+experiment runner.  The delay must grow with the jump distance and stay
+within a small multiple of the search cycle per jump.
 """
 
 import statistics
 
+from repro.experiments import get_spec, run_spec
 from repro.radio.technologies import BLUETOOTH
-from repro.scenarios import line_topology
 from paperbench import print_table
-
-#: Jump distance from n0 to the new device for each chain length.
-CHAIN_LENGTHS = (2, 3, 4)
-SEEDS = (0, 1, 2)
-SETTLE_S = 240.0
-
-
-def measure_delay(chain_length, seed):
-    """Delay from 'newcomer powers on' to 'n0 stores it'."""
-    scenario = line_topology(chain_length, seed=seed)
-    # The newcomer sits beside the last chain node, out of others' range.
-    newcomer = scenario.add_node(
-        "newcomer", position=((chain_length - 1) * 8.0 + 6.0, 4.0))
-    for name, node in scenario.nodes.items():
-        if name != "newcomer":
-            node.start()
-    scenario.run(until=SETTLE_S)
-    appeared_at = scenario.sim.now
-    newcomer.start()
-    observer = scenario.node("n0")
-
-    def watch(sim):
-        deadline = sim.now + 40 * BLUETOOTH.search_cycle_s
-        while sim.now < deadline:
-            if observer.daemon.storage.get(newcomer.address) is not None:
-                return sim.now - appeared_at
-            yield sim.timeout(1.0)
-        return None
-
-    process = scenario.sim.spawn(watch(scenario.sim))
-    return scenario.sim.run(until=process)
 
 
 def run_sweep():
+    """Execute the declarative sweep; delays per jump count."""
     results = {}
-    for chain_length in CHAIN_LENGTHS:
-        delays = []
-        for seed in SEEDS:
-            delay = measure_delay(chain_length, seed)
-            if delay is not None:
-                delays.append(delay)
-        jumps = chain_length - 1  # newcomer is jump (chain_length-1) from n0
-        results[jumps] = delays
+    for result in run_spec(get_spec("delay_sweep")):
+        metrics = result.record["metrics"]
+        delays = results.setdefault(metrics["jumps"], [])
+        if metrics["delay_s"] is not None:
+            delays.append(metrics["delay_s"])
     return results
 
 

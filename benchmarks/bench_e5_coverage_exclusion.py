@@ -6,28 +6,21 @@ devices F and G"; dynamic discovery gives total environment awareness.
 
 Method: awareness fraction (how much of the network each node can see)
 for the two previous-PeerHood oracles, the dynamic-discovery oracle, and
-the *measured* full stack after settling, on the Fig. 3.3 layout and on
-random discs.
+the *measured* full stack after settling — on the Fig. 3.3 layout
+directly, and on random discs via the bundled ``coverage_sweep`` spec
+(``awareness_schemes`` workload) through the experiment runner.
 """
-
-import statistics
 
 from repro.baselines.previous_peerhood import (
     DirectOnlyDiscovery,
     FullMeshDiscovery,
     TwoJumpDiscovery,
+    mean_awareness,
 )
+from repro.experiments import aggregate, get_spec, run_spec
 from repro.radio.technologies import BLUETOOTH
-from repro.scenarios import fig_3_3_coverage_exclusion, random_disc
+from repro.scenarios import fig_3_3_coverage_exclusion
 from paperbench import print_table
-
-
-def awareness_fraction(view_of, names):
-    total = 0.0
-    for name in names:
-        others = len(names) - 1
-        total += len(view_of(name)) / others if others else 1.0
-    return total / len(names)
 
 
 def run_fig_3_3(seed=2, settle_s=300.0):
@@ -40,10 +33,10 @@ def run_fig_3_3(seed=2, settle_s=300.0):
     scenario.run(until=settle_s)
     measured = {name: scenario.awareness(name) for name in names}
     return {
-        "direct-only": awareness_fraction(direct.aware_of, names),
-        "two-jump": awareness_fraction(two_jump.aware_of, names),
-        "dynamic (oracle)": awareness_fraction(full.aware_of, names),
-        "dynamic (measured stack)": awareness_fraction(
+        "direct-only": mean_awareness(direct.aware_of, names),
+        "two-jump": mean_awareness(two_jump.aware_of, names),
+        "dynamic (oracle)": mean_awareness(full.aware_of, names),
+        "dynamic (measured stack)": mean_awareness(
             lambda n: measured[n], names),
         "_b_view": {
             "direct": sorted(direct.aware_of("B")),
@@ -73,30 +66,16 @@ def test_e5_fig_3_3_schemes(benchmark):
         {k: round(v, 3) for k, v in result.items() if k[0] != "_"})
 
 
-def run_random_discs(count=10, area=40.0, seeds=(0, 1, 2),
-                     settle_s=300.0):
-    per_scheme = {"direct-only": [], "two-jump": [], "dynamic (oracle)": [],
-                  "dynamic (measured stack)": []}
-    for seed in seeds:
-        scenario = random_disc(count, area=area, seed=seed,
-                               mobility_class="static")
-        names = list(scenario.nodes)
-        direct = DirectOnlyDiscovery(scenario.world, BLUETOOTH)
-        two_jump = TwoJumpDiscovery(scenario.world, BLUETOOTH)
-        full = FullMeshDiscovery(scenario.world, BLUETOOTH)
-        scenario.start_all()
-        scenario.run(until=settle_s)
-        per_scheme["direct-only"].append(
-            awareness_fraction(direct.aware_of, names))
-        per_scheme["two-jump"].append(
-            awareness_fraction(two_jump.aware_of, names))
-        per_scheme["dynamic (oracle)"].append(
-            awareness_fraction(full.aware_of, names))
-        measured = {name: scenario.awareness(name) for name in names}
-        per_scheme["dynamic (measured stack)"].append(
-            awareness_fraction(lambda n: measured[n], names))
-    return {scheme: statistics.fmean(values)
-            for scheme, values in per_scheme.items()}
+def run_random_discs():
+    """The random-disc campaign, as a declarative sweep."""
+    results = run_spec(get_spec("coverage_sweep"))
+    [row] = aggregate([result.record for result in results])
+    return {
+        "direct-only": row.metrics["direct_only"].mean,
+        "two-jump": row.metrics["two_jump"].mean,
+        "dynamic (oracle)": row.metrics["dynamic_oracle"].mean,
+        "dynamic (measured stack)": row.metrics["dynamic_measured"].mean,
+    }
 
 
 def test_e5_random_disc_ordering(benchmark):

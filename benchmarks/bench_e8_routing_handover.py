@@ -10,18 +10,22 @@ Paper artifacts:
 * the corridor walk: "the interconnection time that would be from 4 to
   15 seconds.  More than probably the connection will be lost before we
   achieve the second route connection establishment."
+
+The decay campaign runs through the experiment subsystem (the bundled
+``handover_decay`` spec: eight seeded Fig. 5.8 runs of the
+``handover_decay`` workload); the corridor walk keeps its bespoke loop —
+it wires a custom mobility model mid-scenario.
 """
 
 from repro.core.errors import ConnectionClosedError
 from repro.core.handover import HandoverThread
+from repro.experiments import get_spec, run_spec
 from repro.metrics.stats import summarize
 from repro.mobility import CorridorWalk
-from repro.radio.technologies import BLUETOOTH
-from repro.scenarios import Scenario, fig_5_8_handover
+from repro.scenarios import Scenario
 from paperbench import print_table
 
 SETTLE_S = 200.0
-DECAY_SEEDS = range(8)
 WALK_SEEDS = range(10)
 
 
@@ -39,44 +43,18 @@ def _print_service(node, printed):
 
 
 def run_decay_campaign():
+    """The eight-run decay campaign, as a declarative sweep."""
     runs = []
-    for seed in DECAY_SEEDS:
-        scenario = fig_5_8_handover(seed=seed)
-        server, client = scenario.node("A"), scenario.node("B")
-        printed = []
-        _print_service(server, printed)
-        scenario.start_all()
-        scenario.run(until=SETTLE_S)
-        if not scenario.wait_for_route("B", "A"):
+    for result in run_spec(get_spec("handover_decay")):
+        metrics = result.record["metrics"]
+        if not metrics["route_found"]:
             continue
-
-        def client_run(sim, scenario=scenario, client=client,
-                       server=server):
-            connection = yield from client.library.connect(
-                server.address, "print", retries=6)
-            scenario.world.install_linear_decay(
-                "A", "B", BLUETOOTH, initial_quality=240)
-            thread = HandoverThread(client.library, connection).start()
-            for index in range(50):
-                connection.write(f"good morning! {index}", 64)
-                yield sim.timeout(1.0)
-            yield sim.timeout(5.0)
-            thread.stop()
-            return connection, thread
-
-        connection, thread = scenario.run_process(
-            client_run(scenario.sim))
-        handover = scenario.trace.first("routing-handover")
-        lows_before = [e for e in scenario.trace.events("signal-low")
-                       if handover and e.time <= handover.time]
         runs.append({
-            "fired": thread.handovers_done >= 1,
-            "duration": (handover.detail["duration"]
-                         if handover else None),
-            "lows_before": len(lows_before),
-            "delivered": len(printed),
-            "reestablished": scenario.trace.count(
-                "connection-reestablished", node="A"),
+            "fired": bool(metrics["fired"]),
+            "duration": metrics["duration_s"],
+            "lows_before": metrics["lows_before"],
+            "delivered": metrics["delivered"],
+            "reestablished": metrics["reestablished"],
         })
     return runs
 

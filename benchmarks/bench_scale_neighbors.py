@@ -1,83 +1,73 @@
 """Scale — grid-backed neighbor discovery vs the O(N²) pairwise baseline.
 
 Not a paper artifact: this benchmark backs the ROADMAP's production-scale
-goal.  It runs full discovery rounds (every node asks the world for its
-Bluetooth neighbors) over the dense-plaza scenario at growing N, with the
-clock advancing between rounds so the spatial grids actually re-sync, and
-compares the grid-backed :meth:`World.neighbors` against the seed-era
-pairwise :meth:`World.neighbors_brute_force` on two axes:
+goal.  Its runs are defined by the bundled ``scale_sweep`` spec (the
+``scale_neighbors`` workload: full discovery rounds over the dense-plaza
+scenario at growing N and constant crowd density, grid vs brute force
+compared on distance computations — with identical neighbor sets
+asserted inside the workload for every node and round) and executed
+through the experiment runner.
 
-* distance computations per round (the acceptance metric: >= 5x fewer at
-  N = 500), counted by ``world.stats``;
-* wall-clock latency per round.
-
-Both implementations must return identical neighbor sets for every node
-in every round — the same oracle the property test enforces under random
-waypoint motion.
+Besides the asserted table, the run writes ``BENCH_scale_neighbors.json``
+at the repo root — a machine-readable snapshot of distance-check counts
+(deterministic) and wall-clock per round (from the runner's timing side
+channel) so the perf trajectory is tracked across PRs.
 """
 
-import time
+import json
+import pathlib
 
+from repro.experiments import get_spec, run_spec
 from paperbench import print_table
-from repro.radio import BLUETOOTH
-from repro.scenarios import dense_plaza
 
-#: Node counts swept at constant crowd density (the plaza grows with N,
-#: ~0.035 pedestrians/m² — 500 walkers on a 120 m square).  At constant
-#: density each node's true neighbor count stays flat while the pairwise
-#: baseline still scans all N, so the grid's advantage grows linearly
-#: with N instead of being a fixed constant.
-NODE_COUNTS = (100, 300, 500)
-DENSITY_PER_M2 = 500 / (120.0 * 120.0)
-#: Full discovery rounds measured per node count.
-ROUNDS = 3
-#: Sim-time advanced between rounds, so mobile nodes change cells.
-STEP_S = 15.0
+SNAPSHOT_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "BENCH_scale_neighbors.json")
 
 
-def run_scale_sweep(node_counts=NODE_COUNTS, rounds=ROUNDS, seed=11):
-    """Measure grid vs brute-force discovery rounds; returns result rows."""
-    results = []
-    for count in node_counts:
-        area = (count / DENSITY_PER_M2) ** 0.5
-        scenario = dense_plaza(count, area=area, seed=seed)
-        world = scenario.world
-        grid_checks = brute_checks = 0
-        grid_seconds = brute_seconds = 0.0
-        for _ in range(rounds):
-            scenario.sim.timeout(STEP_S)
-            scenario.sim.run()
-            ids = world.node_ids()
-
-            world.stats.reset()
-            started = time.perf_counter()
-            grid_round = [world.neighbors(node_id, BLUETOOTH)
-                          for node_id in ids]
-            grid_seconds += time.perf_counter() - started
-            grid_checks += world.stats.distance_checks
-
-            world.stats.reset()
-            started = time.perf_counter()
-            brute_round = [world.neighbors_brute_force(node_id, BLUETOOTH)
-                           for node_id in ids]
-            brute_seconds += time.perf_counter() - started
-            brute_checks += world.stats.distance_checks
-
-            assert grid_round == brute_round, (
-                f"grid and pairwise neighbor sets diverged at N={count}")
-        results.append({
-            "n": count,
-            "grid_checks": grid_checks // rounds,
-            "brute_checks": brute_checks // rounds,
-            "grid_ms": 1000.0 * grid_seconds / rounds,
-            "brute_ms": 1000.0 * brute_seconds / rounds,
+def run_scale_sweep():
+    """Execute the declarative sweep; returns result rows with timings."""
+    rows = []
+    for result in run_spec(get_spec("scale_sweep")):
+        metrics = result.record["metrics"]
+        rows.append({
+            "n": metrics["nodes"],
+            "grid_checks": metrics["grid_checks"],
+            "brute_checks": metrics["brute_checks"],
+            "grid_ms": result.timings["grid_ms"],
+            "brute_ms": result.timings["brute_ms"],
+            "wall_s": result.timings["wall_s"],
         })
-    return results
+    return rows
+
+
+def write_snapshot(results, path=SNAPSHOT_PATH):
+    """Persist the perf snapshot for cross-PR trajectory tracking."""
+    snapshot = {
+        "benchmark": "scale_neighbors",
+        "spec": "scale_sweep",
+        "rows": [
+            {
+                "n": row["n"],
+                "grid_distance_checks_per_round": row["grid_checks"],
+                "brute_distance_checks_per_round": row["brute_checks"],
+                "reduction": round(
+                    row["brute_checks"] / max(1, row["grid_checks"]), 2),
+                "grid_ms_per_round": round(row["grid_ms"], 3),
+                "brute_ms_per_round": round(row["brute_ms"], 3),
+                "run_wall_s": round(row["wall_s"], 3),
+            }
+            for row in results
+        ],
+    }
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def test_scale_grid_discovery_beats_pairwise(benchmark):
     results = benchmark.pedantic(run_scale_sweep, rounds=1, iterations=1,
                                  warmup_rounds=0)
+    write_snapshot(results)
     rows = []
     for row in results:
         ratio = row["brute_checks"] / max(1, row["grid_checks"])
@@ -93,7 +83,7 @@ def test_scale_grid_discovery_beats_pairwise(benchmark):
         rows)
     # Acceptance: at N=500 the grid does >= 5x fewer distance
     # computations per discovery round (identical neighbor sets are
-    # asserted inside the sweep for every node and round).
+    # asserted inside the workload for every node and round).
     largest = results[-1]
     assert largest["n"] == 500
     assert largest["brute_checks"] >= 5 * largest["grid_checks"], (
@@ -102,4 +92,5 @@ def test_scale_grid_discovery_beats_pairwise(benchmark):
     ratios = [r["brute_checks"] / max(1, r["grid_checks"]) for r in results]
     assert ratios == sorted(ratios), f"reduction not monotone in N: {ratios}"
     benchmark.extra_info["reduction_at_500"] = round(ratios[-1], 1)
-    benchmark.extra_info["rows"] = results
+    benchmark.extra_info["rows"] = [
+        {k: v for k, v in row.items() if k != "wall_s"} for row in results]

@@ -10,24 +10,11 @@ attached to ``benchmark.extra_info``.
 
 from __future__ import annotations
 
-import typing
+# Table rendering lives in the metrics layer (shared with the experiment
+# report command); re-exported here so every bench keeps its import.
+from repro.metrics.tables import print_table
 
-
-def print_table(title: str, headers: typing.Sequence[str],
-                rows: typing.Sequence[typing.Sequence[object]]) -> None:
-    """Print an aligned reproduction table."""
-    rendered = [[str(cell) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rendered:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
-    print(f"\n== {title} ==")
-    print(line)
-    print("-" * len(line))
-    for row in rendered:
-        print("  ".join(cell.ljust(widths[i])
-                        for i, cell in enumerate(row)))
+__all__ = ["fraction", "print_table"]
 
 
 def fraction(numerator: int, denominator: int) -> float:

@@ -15,6 +15,7 @@ from repro.baselines.no_handover import run_plain_connection
 from repro.baselines.previous_peerhood import (
     DirectOnlyDiscovery,
     TwoJumpDiscovery,
+    mean_awareness,
 )
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "GnutellaNetwork",
     "GnutellaNode",
     "TwoJumpDiscovery",
+    "mean_awareness",
     "run_plain_connection",
 ]

@@ -82,3 +82,18 @@ class FullMeshDiscovery:
                     frontier.append(neighbor_id)
         seen.discard(node_id)
         return seen
+
+
+def mean_awareness(view_of, names) -> float:
+    """Mean awareness fraction over ``names`` under one scheme.
+
+    ``view_of(name)`` is the set of *other* nodes the scheme makes
+    ``name`` aware of; each node contributes ``len(view) / (n - 1)``.
+    1.0 for singleton populations (nothing to discover).  The E5
+    benchmark and the ``awareness_schemes`` workload share this fold.
+    """
+    names = list(names)
+    others = len(names) - 1
+    if others <= 0:
+        return 1.0
+    return sum(len(view_of(name)) / others for name in names) / len(names)

@@ -1,0 +1,142 @@
+"""The experiments CLI: ``python -m repro.experiments list|run|report``.
+
+* ``list`` — bundled specs, registered scenarios (with schemas) and
+  workloads;
+* ``run SPEC`` — expand the grid, execute it (``--workers N``), write
+  ``runs.jsonl`` + aggregated ``summary.csv`` under ``--out`` (default
+  ``results/<spec>/``) and print the aggregate table;
+* ``report SPEC`` — re-aggregate an existing ``runs.jsonl`` without
+  re-running anything.
+
+Output files are byte-identical for any ``--workers`` value — see
+:mod:`repro.experiments.runner` for the determinism contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments import report as report_mod
+from repro.experiments import runner as runner_mod
+from repro.experiments.registry import get_scenario, scenario_names
+from repro.experiments.specs import get_spec, spec_names
+from repro.experiments.workloads import workload_names
+from repro.metrics.tables import print_table
+
+
+def _out_dir(args) -> pathlib.Path:
+    if args.out is not None:
+        return pathlib.Path(args.out)
+    return pathlib.Path("results") / args.spec
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for name in spec_names():
+        spec = get_spec(name)
+        rows.append([name, spec.workload, spec.size(), spec.description])
+    print_table("Bundled experiment specs",
+                ["spec", "workload", "runs", "description"], rows)
+    rows = []
+    for name in scenario_names():
+        entry = get_scenario(name)
+        schema = ", ".join(
+            f"{p.name}:{p.kind.__name__}={p.default!r}"
+            for p in entry.params) or "-"
+        rows.append([name, schema, entry.summary])
+    print_table("Registered scenarios",
+                ["scenario", "parameters", "summary"], rows)
+    print_table("Registered workloads", ["workload"],
+                [[name] for name in workload_names()])
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = get_spec(args.spec)
+    if args.seed is not None:
+        import dataclasses
+        spec = dataclasses.replace(spec, master_seed=args.seed)
+    out_dir = _out_dir(args)
+    total = spec.size()
+    print(f"spec {spec.name!r}: {total} runs, workload "
+          f"{spec.workload!r}, {args.workers} worker(s) -> {out_dir}")
+
+    done = [0]
+
+    def progress(record):
+        done[0] += 1
+        print(f"  [{done[0]:>{len(str(total))}}/{total}] "
+              f"{record['scenario']} {record['params']} "
+              f"rep{record['repeat']}", file=sys.stderr)
+
+    results = runner_mod.run_spec(spec, workers=args.workers,
+                                  progress=progress if args.verbose
+                                  else None)
+    records = [result.record for result in results]
+    jsonl_path = runner_mod.write_jsonl(records, out_dir / "runs.jsonl")
+    rows = report_mod.aggregate(records)
+    csv_path = report_mod.write_csv(rows, out_dir / "summary.csv")
+    wall = sum(result.timings["wall_s"] for result in results)
+    print(report_mod.aggregate_table(
+        f"{spec.name}: {len(records)} runs "
+        f"(total simulated work {wall:.1f}s of wall-clock)", rows))
+    print(f"\nwrote {jsonl_path} and {csv_path}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    out_dir = _out_dir(args)
+    jsonl_path = out_dir / "runs.jsonl"
+    if not jsonl_path.exists():
+        print(f"no results at {jsonl_path}; run the spec first:\n"
+              f"  python -m repro.experiments run {args.spec}",
+              file=sys.stderr)
+        return 1
+    records = runner_mod.read_jsonl(jsonl_path)
+    rows = report_mod.aggregate(records)
+    csv_path = report_mod.write_csv(rows, out_dir / "summary.csv")
+    print(report_mod.aggregate_table(
+        f"{args.spec}: {len(records)} recorded runs", rows))
+    print(f"\nwrote {csv_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Declarative simulation sweeps: list, run, report.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list", help="show bundled specs, scenarios and workloads")
+
+    run_parser = commands.add_parser(
+        "run", help="execute a bundled spec and write JSONL + CSV")
+    run_parser.add_argument("spec", help="bundled spec name")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes (default 1; output is "
+                                 "identical at any value)")
+    run_parser.add_argument("--out", default=None,
+                            help="output directory "
+                                 "(default results/<spec>/)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the spec's master seed")
+    run_parser.add_argument("--verbose", action="store_true",
+                            help="print per-run progress to stderr")
+
+    report_parser = commands.add_parser(
+        "report", help="re-aggregate an existing runs.jsonl")
+    report_parser.add_argument("spec", help="bundled spec name")
+    report_parser.add_argument("--out", default=None,
+                               help="results directory "
+                                    "(default results/<spec>/)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run,
+               "report": cmd_report}[args.command]
+    return handler(args)

@@ -1,0 +1,236 @@
+"""Scenario registry: string names → scenario factories with typed schemas.
+
+The experiment layer refers to scenarios *by name* so that an
+:class:`~repro.experiments.spec.ExperimentSpec` is pure data — picklable
+across worker processes, serialisable into result records, and stable to
+diff between runs.  Every public factory in :mod:`repro.scenarios` (the
+paper-figure topologies and the large-N family) is registered here with a
+typed parameter schema, so a spec can be validated *before* any run
+starts and ``python -m repro.experiments list`` can document every knob.
+
+Every schema parameter has a default, so each scenario is constructible
+with no arguments beyond a seed — the registry test relies on this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.scenarios import (
+    Scenario,
+    dense_plaza,
+    fig_3_3_coverage_exclusion,
+    fig_3_6_dynamic_discovery,
+    fig_3_9_quality_equity,
+    fig_4_5_bridge_test,
+    fig_5_8_handover,
+    flash_crowd,
+    line_topology,
+    random_disc,
+    sparse_highway,
+    tunnel_topology,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Param:
+    """One typed, defaulted parameter of a scenario factory.
+
+    For ``tuple`` parameters, ``element`` (when set) types every member
+    — so a malformed sequence fails at spec-validation time, not
+    minutes into a sweep inside a factory.
+    """
+
+    name: str
+    kind: type
+    default: object
+    doc: str = ""
+    element: type | None = None
+
+    def check(self, value: object) -> None:
+        """Raise ``TypeError`` unless ``value`` fits this parameter.
+
+        ``int`` is accepted where ``float`` is declared (the usual
+        numeric-tower lenience); lists are accepted where ``tuple`` is
+        declared (JSON has no tuples, and specs round-trip via JSON).
+        """
+        if self.kind is float and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            return
+        if self.kind is int and isinstance(value, int) \
+                and not isinstance(value, bool):
+            return
+        if self.kind is tuple and isinstance(value, (list, tuple)):
+            if self.element is not None:
+                for member in value:
+                    if not isinstance(member, self.element):
+                        raise TypeError(
+                            f"parameter {self.name!r} expects a tuple "
+                            f"of {self.element.__name__}, got element "
+                            f"{member!r} ({type(member).__name__})")
+            return
+        if self.kind is str and isinstance(value, str):
+            return
+        raise TypeError(
+            f"parameter {self.name!r} expects {self.kind.__name__}, "
+            f"got {value!r} ({type(value).__name__})")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioEntry:
+    """A registered scenario factory plus its parameter schema."""
+
+    name: str
+    factory: typing.Callable[..., Scenario]
+    params: tuple[Param, ...]
+    summary: str
+
+    def param(self, name: str) -> Param:
+        """Schema entry for ``name``; ``KeyError`` if not a parameter."""
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(
+            f"scenario {self.name!r} has no parameter {name!r} "
+            f"(has: {[p.name for p in self.params] or 'none'})")
+
+    def has_param(self, name: str) -> bool:
+        return any(p.name == name for p in self.params)
+
+
+_REGISTRY: dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(name: str, factory: typing.Callable[..., Scenario],
+                      params: typing.Sequence[Param] = (),
+                      summary: str = "") -> ScenarioEntry:
+    """Register a factory under ``name``; re-registration is an error."""
+    if name in _REGISTRY:
+        raise ValueError(f"scenario {name!r} already registered")
+    entry = ScenarioEntry(name, factory, tuple(params),
+                          summary or (factory.__doc__ or "").split("\n")[0])
+    _REGISTRY[name] = entry
+    return entry
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioEntry:
+    """Look up a registered scenario; ``KeyError`` with the valid names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"registered: {scenario_names()}") from None
+
+
+def build_scenario(name: str, seed: int,
+                   params: typing.Mapping[str, object] | None = None
+                   ) -> Scenario:
+    """Validate ``params`` against the schema and invoke the factory.
+
+    Unknown parameter names raise ``KeyError``; type mismatches raise
+    ``TypeError`` — both *before* the factory runs, so a bad spec fails
+    during expansion rather than minutes into a sweep.  List values are
+    converted to tuples (JSON round-trip produces lists).  Schema
+    defaults fill every unspecified parameter, so a run is fully
+    described by (scenario name, params, seed) even if a factory's own
+    defaults drift later.
+    """
+    entry = get_scenario(name)
+    kwargs: dict[str, object] = {p.name: p.default for p in entry.params}
+    for key, value in (params or {}).items():
+        param = entry.param(key)
+        param.check(value)
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    return entry.factory(seed=seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# registrations: every public factory in repro.scenarios
+# ----------------------------------------------------------------------
+_TECHS = Param("technologies", tuple, ("bluetooth",),
+               "radio mix carried by every node", element=str)
+
+register_scenario(
+    "line_topology", line_topology,
+    params=(
+        Param("count", int, 5, "nodes on the line"),
+        Param("spacing", float, 8.0, "metres between neighbours"),
+        _TECHS,
+        Param("mobility_class", str, "static", "advertised mobility class"),
+    ),
+    summary="maximal-diameter chain: each node reaches only its neighbours")
+
+register_scenario(
+    "random_disc", random_disc,
+    params=(
+        Param("count", int, 10, "nodes in the square"),
+        Param("area", float, 40.0, "side of the square, metres"),
+        _TECHS,
+        Param("mobility_class", str, "dynamic", "advertised mobility class"),
+    ),
+    summary="uniform random placement in an area × area square")
+
+register_scenario(
+    "fig_3_3_coverage_exclusion", fig_3_3_coverage_exclusion,
+    summary="Fig. 3.3: B/C/D cannot see F/G without dynamic discovery")
+
+register_scenario(
+    "fig_3_6_dynamic_discovery", fig_3_6_dynamic_discovery,
+    summary="Fig. 3.6: the five-device discovery-table example")
+
+register_scenario(
+    "fig_3_9_quality_equity", fig_3_9_quality_equity,
+    summary="Fig. 3.9: the equal-sum quality diamond")
+
+register_scenario(
+    "fig_4_5_bridge_test", fig_4_5_bridge_test,
+    summary="Fig. 4.5: client – bridge – server performance layout")
+
+register_scenario(
+    "fig_5_8_handover", fig_5_8_handover,
+    summary="Fig. 5.8: A/B/C routing-handover triangle")
+
+register_scenario(
+    "tunnel_topology", tunnel_topology,
+    params=(
+        Param("bridge_count", int, 3, "relays lining the tunnel"),
+        Param("spacing", float, 8.0, "metres between relays"),
+    ),
+    summary="Fig. 6.1: GPRS gateway + relay chain + far-end phone")
+
+register_scenario(
+    "dense_plaza", dense_plaza,
+    params=(
+        Param("count", int, 50, "pedestrians in the plaza"),
+        Param("area", float, 60.0, "side of the plaza, metres"),
+        _TECHS,
+    ),
+    summary="packed random-waypoint pedestrians (high cell occupancy)")
+
+register_scenario(
+    "sparse_highway", sparse_highway,
+    params=(
+        Param("count", int, 50, "vehicles on the road"),
+        Param("length_m", float, 2000.0, "road length, metres"),
+        Param("lanes", int, 2, "lane count"),
+        Param("technologies", tuple, ("wlan",), "radio mix", element=str),
+    ),
+    summary="fast vehicles strung along kilometres of road")
+
+register_scenario(
+    "flash_crowd", flash_crowd,
+    params=(
+        Param("base_count", int, 10, "permanent residents"),
+        Param("crowd_count", int, 40, "transient walkers injected"),
+        Param("area", float, 80.0, "side of the square, metres"),
+        _TECHS,
+    ),
+    summary="resident population plus a churning transient crowd")

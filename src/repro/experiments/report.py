@@ -1,0 +1,107 @@
+"""Aggregation and reporting: fold run records into summary rows.
+
+Records from the runner are grouped by configuration — (scenario,
+canonicalised params) — and every numeric metric is folded across the
+group's repeats into a :class:`repro.metrics.stats.Summary` (mean,
+95% CI half-width, extremes).  Output renders through the shared
+:mod:`repro.metrics.tables` helpers: an aligned table for terminals and
+long-format CSV (one row per configuration × metric) for downstream
+tooling.  All orderings are sorted, so aggregate output inherits the
+runner's byte-for-byte determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import typing
+
+from repro.experiments.spec import canonical_json
+from repro.metrics.stats import Summary, summarize
+from repro.metrics.tables import format_table, render_csv
+
+CSV_HEADERS = ("scenario", "params", "metric", "n",
+               "mean", "ci95", "median", "min", "max", "stdev")
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateRow:
+    """One configuration's folded metrics."""
+
+    scenario: str
+    params_json: str                 #: canonical JSON of the cell params
+    runs: int                        #: records folded into this row
+    metrics: dict[str, Summary]      #: metric name → repeat summary
+
+
+def aggregate(records: typing.Iterable[dict]) -> list[AggregateRow]:
+    """Group records by configuration and summarise across repeats.
+
+    ``None`` metric values (e.g. "newcomer never detected") are
+    excluded from that metric's sample; a metric observed only as
+    ``None`` is dropped from the row.  Rows come back sorted by
+    (scenario, params).
+    """
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for record in records:
+        key = (record["scenario"], canonical_json(record["params"]))
+        groups.setdefault(key, []).append(record)
+    rows = []
+    for (scenario, params_json), members in sorted(groups.items()):
+        samples: dict[str, list[float]] = {}
+        for record in members:
+            for metric, value in record["metrics"].items():
+                if value is None:
+                    samples.setdefault(metric, [])
+                    continue
+                if isinstance(value, bool):
+                    value = int(value)
+                samples.setdefault(metric, []).append(float(value))
+        rows.append(AggregateRow(
+            scenario=scenario, params_json=params_json, runs=len(members),
+            metrics={metric: summarize(values)
+                     for metric, values in sorted(samples.items())
+                     if values}))
+    return rows
+
+
+def aggregate_csv(rows: typing.Sequence[AggregateRow]) -> str:
+    """Long-format CSV: one line per configuration × metric."""
+    lines = []
+    for row in rows:
+        for metric, summary in row.metrics.items():
+            lines.append([
+                row.scenario, row.params_json, metric, summary.count,
+                f"{summary.mean:.6g}", f"{summary.ci95:.6g}",
+                f"{summary.median:.6g}", f"{summary.minimum:.6g}",
+                f"{summary.maximum:.6g}", f"{summary.stdev:.6g}",
+            ])
+    return render_csv(CSV_HEADERS, lines)
+
+
+def aggregate_table(title: str,
+                    rows: typing.Sequence[AggregateRow]) -> str:
+    """Aligned terminal table: one line per configuration × metric."""
+    body = []
+    for row in rows:
+        for metric, summary in row.metrics.items():
+            body.append([
+                row.scenario, row.params_json, metric,
+                summary.count,
+                f"{summary.mean:.4g} ± {summary.ci95:.3g}",
+                f"[{summary.minimum:.4g}, {summary.maximum:.4g}]",
+            ])
+    return format_table(
+        title,
+        ["scenario", "params", "metric", "n", "mean ± ci95", "range"],
+        body)
+
+
+def write_csv(rows: typing.Sequence[AggregateRow],
+              path: str | pathlib.Path) -> pathlib.Path:
+    """Write the aggregate CSV with deterministic bytes."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as sink:
+        sink.write(aggregate_csv(rows))
+    return path

@@ -1,0 +1,121 @@
+"""The sweep runner: execute an expanded grid, serially or in parallel.
+
+Each :class:`~repro.experiments.spec.RunPoint` is executed by
+:func:`execute_point` — a module-level function taking and returning
+plain dicts, so it crosses process boundaries untouched.  With
+``workers > 1`` the grid fans out over a ``ProcessPoolExecutor``
+(simulations are CPU-bound pure Python; processes sidestep the GIL).
+
+Determinism: a run's result depends only on its :class:`RunPoint` (the
+seed is derived from the run's label, not its schedule), results are
+collected in grid order (``Executor.map`` preserves input order), and
+records are serialised with sorted keys — so JSONL and aggregate output
+are byte-identical for 1 and N workers.  Wall-clock measurements never
+enter records; they ride the :attr:`RunResult.timings` side channel.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import json
+import pathlib
+import time
+import typing
+
+from repro.experiments.spec import ExperimentSpec, RunPoint
+from repro.experiments.workloads import get_workload
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """One finished run: the deterministic record + timing side channel."""
+
+    record: dict[str, object]    #: JSON-safe, deterministic result row
+    timings: dict[str, float]    #: wall-clock info (never serialised)
+
+
+def execute_point(point_dict: dict) -> tuple[dict, dict]:
+    """Execute one run; the unit of work shipped to worker processes.
+
+    Returns ``(record, timings)``.  A workload's reserved ``"timings"``
+    metric is stripped into the timing side channel along with the
+    measured ``wall_s``, keeping the record deterministic.
+    """
+    point = RunPoint.from_dict(point_dict)
+    workload = get_workload(point.workload)
+    started = time.perf_counter()
+    metrics = dict(workload(point))
+    timings = {"wall_s": time.perf_counter() - started}
+    extra = metrics.pop("timings", None)
+    if extra:
+        timings.update(extra)
+    record = {
+        "spec": point.spec,
+        "workload": point.workload,
+        "run": point.index,
+        "scenario": point.scenario,
+        "params": point.params,
+        "repeat": point.repeat,
+        "seed": point.seed,
+        "metrics": metrics,
+    }
+    return record, timings
+
+
+def run_spec(spec: ExperimentSpec, workers: int = 1,
+             progress: typing.Callable[[dict], None] | None = None
+             ) -> list[RunResult]:
+    """Execute every run of ``spec``; results come back in grid order.
+
+    ``progress``, if given, is called with each finished record (in grid
+    order).  ``workers=1`` runs inline — no pool, easiest to debug.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    point_dicts = [point.as_dict() for point in spec.expand()]
+    results: list[RunResult] = []
+    if workers == 1:
+        for point_dict in point_dicts:
+            record, timings = execute_point(point_dict)
+            if progress is not None:
+                progress(record)
+            results.append(RunResult(record, timings))
+        return results
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers) as pool:
+        for record, timings in pool.map(execute_point, point_dicts):
+            if progress is not None:
+                progress(record)
+            results.append(RunResult(record, timings))
+    return results
+
+
+# ----------------------------------------------------------------------
+# JSONL sink
+# ----------------------------------------------------------------------
+def jsonl_line(record: dict) -> str:
+    """Canonical single-line rendering of one record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(records: typing.Iterable[dict],
+                path: str | pathlib.Path) -> pathlib.Path:
+    """Write records (one JSON object per line) deterministically."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="\n") as sink:
+        for record in records:
+            sink.write(jsonl_line(record) + "\n")
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict]:
+    """Read a JSONL result file back into records."""
+    records = []
+    with open(path, encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,96 @@
+"""Bundled experiment specs: the campaigns shipped with the repo.
+
+``demo_sweep`` is the reference campaign (the CLI quickstart and the
+``make sweep`` target); the others back the refactored ``bench_e*``
+scripts, which execute them through the runner instead of hand-rolled
+loops.  Specs are plain data — copy one and edit the axes to make a
+new campaign, or register your own via :func:`register_spec`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.spec import ExperimentSpec
+
+_SPECS: dict[str, ExperimentSpec] = {}
+
+
+def register_spec(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register a spec under its own name; duplicates are an error."""
+    if spec.name in _SPECS:
+        raise ValueError(f"spec {spec.name!r} already registered")
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def spec_names() -> list[str]:
+    """Registered spec names, sorted."""
+    return sorted(_SPECS)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up a bundled spec; ``KeyError`` with the valid names."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown spec {name!r}; "
+                       f"bundled: {spec_names()}") from None
+
+
+#: The E2/E8-style discovery-and-handover sweep at multiple N:
+#: 2 scenarios × 2 node counts × 2 radio mixes × 3 repeats = 24 runs.
+register_spec(ExperimentSpec(
+    name="demo_sweep",
+    workload="discovery_handover",
+    scenarios=("random_disc", "dense_plaza"),
+    axes={
+        "count": (16, 28),
+        "technologies": (("bluetooth",), ("bluetooth", "wlan")),
+    },
+    repeats=3,
+    master_seed=7,
+    settings={"settle_s": 180.0, "messages": 20},
+    description=("discovery convergence + a monitored stream, swept "
+                 "over topology, N and radio mix")))
+
+#: E4 (Fig. 3.10): change-notification delay vs jump count.
+register_spec(ExperimentSpec(
+    name="delay_sweep",
+    workload="line_delay",
+    scenarios=("line_topology",),
+    axes={"count": (2, 3, 4)},
+    repeats=3,
+    master_seed=40,
+    settings={"settle_s": 240.0},
+    description="max change-notification delay along settled chains"))
+
+#: E5b: discovery-scheme awareness on random discs.
+register_spec(ExperimentSpec(
+    name="coverage_sweep",
+    workload="awareness_schemes",
+    scenarios=("random_disc",),
+    axes={"count": (10,), "mobility_class": ("static",)},
+    repeats=3,
+    master_seed=50,
+    settings={"settle_s": 300.0},
+    description="awareness fraction per discovery scheme (§3.1)"))
+
+#: E8 (Fig. 5.8): the quality-decay handover campaign.
+register_spec(ExperimentSpec(
+    name="handover_decay",
+    workload="handover_decay",
+    scenarios=("fig_5_8_handover",),
+    repeats=8,
+    master_seed=80,
+    settings={"settle_s": 200.0, "messages": 50},
+    description="decay-driven routing handover, repeated Fig. 5.8 runs"))
+
+#: The production-scale gate: grid vs pairwise discovery at growing N.
+register_spec(ExperimentSpec(
+    name="scale_sweep",
+    workload="scale_neighbors",
+    scenarios=("dense_plaza",),
+    axes={"count": (100, 300, 500)},
+    repeats=1,
+    master_seed=11,
+    settings={"rounds": 3, "step_s": 15.0},
+    description="spatial-grid vs O(N²) discovery rounds, constant density"))

@@ -1,0 +1,332 @@
+"""Measurement workloads: what one run of a sweep actually does.
+
+A workload is a named function executed once per :class:`~repro.
+experiments.spec.RunPoint`: it builds the point's scenario (via the
+registry, with the point's derived seed), drives the simulation, and
+returns a flat dict of JSON-safe metrics.
+
+Determinism contract: a workload's metrics must be a pure function of
+the run point — no wall-clock times, object ids or iteration over
+unordered containers.  Wall-clock measurements belong in the reserved
+``"timings"`` key, which the runner strips from the JSONL record and
+reports through the side channel (:attr:`RunResult.timings`), keeping
+result files byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+import typing
+
+from repro.baselines.previous_peerhood import (
+    DirectOnlyDiscovery,
+    FullMeshDiscovery,
+    TwoJumpDiscovery,
+    mean_awareness,
+)
+from repro.core.errors import ConnectionClosedError, PeerHoodError
+from repro.core.handover import HandoverThread
+from repro.experiments.registry import build_scenario, get_scenario
+from repro.experiments.spec import RunPoint
+from repro.radio.channel import OutOfRange
+from repro.radio.technologies import BLUETOOTH
+
+Metrics = typing.Dict[str, object]
+
+_WORKLOADS: dict[str, typing.Callable[[RunPoint], Metrics]] = {}
+
+
+def register_workload(name: str):
+    """Decorator registering a workload function under ``name``."""
+    def decorate(fn):
+        if name in _WORKLOADS:
+            raise ValueError(f"workload {name!r} already registered")
+        _WORKLOADS[name] = fn
+        return fn
+    return decorate
+
+
+def workload_names() -> list[str]:
+    """Registered workload names, sorted."""
+    return sorted(_WORKLOADS)
+
+
+def get_workload(name: str):
+    """Look up a workload; ``KeyError`` with the valid names."""
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"registered: {workload_names()}") from None
+
+
+def _sink_service(node, delivered: list) -> None:
+    """Register a 'print'-style sink service collecting messages."""
+    def handler(connection):
+        def serve(connection=connection):
+            while True:
+                try:
+                    message = yield from connection.read()
+                except ConnectionClosedError:
+                    return
+                delivered.append(message)
+        return serve()
+    node.library.register_service("sink", handler)
+
+
+# ----------------------------------------------------------------------
+# discovery: settle and measure environment awareness + traffic
+# ----------------------------------------------------------------------
+@register_workload("discovery")
+def discovery(point: RunPoint) -> Metrics:
+    """Run discovery to ``settle_s`` and measure awareness + overhead."""
+    settle_s = float(point.settings.get("settle_s", 180.0))
+    scenario = build_scenario(point.scenario, point.seed, point.params)
+    scenario.start_all()
+    scenario.run(until=settle_s)
+    names = sorted(scenario.nodes)
+    fractions = [scenario.awareness_fraction(name) for name in names]
+    known = [len(scenario.nodes[name].daemon.storage.devices())
+             for name in names]
+    return {
+        "nodes": len(names),
+        "awareness_mean": statistics.fmean(fractions),
+        "awareness_min": min(fractions),
+        "devices_known_mean": statistics.fmean(known),
+        "discovery_messages": scenario.meter.messages(category="discovery"),
+        "discovery_bytes": scenario.meter.bytes(category="discovery"),
+        "control_messages": scenario.meter.messages(category="control"),
+    }
+
+
+# ----------------------------------------------------------------------
+# discovery_handover: the E2/E8-style combined sweep cell
+# ----------------------------------------------------------------------
+@register_workload("discovery_handover")
+def discovery_handover(point: RunPoint) -> Metrics:
+    """Discovery settle, then a monitored stream over the fabric.
+
+    After awareness converges, the (deterministically) first node opens
+    a connection to the first peer in its DeviceStorage, attaches a
+    :class:`HandoverThread`, and streams ``messages`` one-per-second —
+    the E8 shape, generalised to any scenario.  Metrics cover both
+    phases: awareness/overhead plus delivery and handover counts.
+    """
+    settle_s = float(point.settings.get("settle_s", 180.0))
+    message_count = int(point.settings.get("messages", 20))
+    scenario = build_scenario(point.scenario, point.seed, point.params)
+    delivered: list = []
+    for name in sorted(scenario.nodes):
+        _sink_service(scenario.nodes[name], delivered)
+    scenario.start_all()
+    scenario.run(until=settle_s)
+
+    names = sorted(scenario.nodes)
+    fractions = [scenario.awareness_fraction(name) for name in names]
+    metrics: Metrics = {
+        "nodes": len(names),
+        "awareness_mean": statistics.fmean(fractions),
+        "discovery_messages": scenario.meter.messages(category="discovery"),
+        "connected": 0,
+        "delivered": 0,
+        "handovers": 0,
+    }
+
+    client = scenario.nodes[names[0]]
+    peers = [d.address for d in client.daemon.storage.devices()]
+    if not peers:
+        return metrics
+
+    def stream(sim):
+        try:
+            connection = yield from client.library.connect(
+                peers[0], "sink", retries=4)
+        except (PeerHoodError, OutOfRange):
+            # Expected mobile-world outcomes (no route, target gone,
+            # bridge refused, peer drifted out of coverage mid-connect)
+            # record as connected=0; genuine bugs propagate and fail
+            # the run.
+            return None
+        thread = HandoverThread(client.library, connection).start()
+        for index in range(message_count):
+            if not connection.is_open:
+                break
+            connection.write(f"sweep {index}", 64)
+            yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        thread.stop()
+        return connection
+
+    connection = scenario.run_process(stream(scenario.sim))
+    if connection is not None:
+        metrics.update({
+            "connected": 1,
+            "delivered": len(delivered),
+            "handovers": connection.handovers,
+        })
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# line_delay: E4 — change-notification delay along a settled chain
+# ----------------------------------------------------------------------
+@register_workload("line_delay")
+def line_delay(point: RunPoint) -> Metrics:
+    """Fig. 3.10 cell: when does n0 learn of a far-end newcomer?"""
+    settle_s = float(point.settings.get("settle_s", 240.0))
+    entry = get_scenario(point.scenario)
+    spacing = float(point.params.get(
+        "spacing", entry.param("spacing").default))
+    scenario = build_scenario(point.scenario, point.seed, point.params)
+    chain_length = len(scenario.nodes)
+    newcomer = scenario.add_node(
+        "newcomer", position=((chain_length - 1) * spacing + 6.0, 4.0))
+    for name, node in scenario.nodes.items():
+        if name != "newcomer":
+            node.start()
+    scenario.run(until=settle_s)
+    appeared_at = scenario.sim.now
+    newcomer.start()
+    observer = scenario.node("n0")
+
+    def watch(sim):
+        deadline = sim.now + 40 * BLUETOOTH.search_cycle_s
+        while sim.now < deadline:
+            if observer.daemon.storage.get(newcomer.address) is not None:
+                return sim.now - appeared_at
+            yield sim.timeout(1.0)
+        return None
+
+    process = scenario.sim.spawn(watch(scenario.sim))
+    delay = scenario.sim.run(until=process)
+    return {
+        "jumps": chain_length - 1,
+        "detected": 1 if delay is not None else 0,
+        "delay_s": delay,
+    }
+
+
+# ----------------------------------------------------------------------
+# awareness_schemes: E5 — discovery-scheme comparison on one layout
+# ----------------------------------------------------------------------
+@register_workload("awareness_schemes")
+def awareness_schemes(point: RunPoint) -> Metrics:
+    """Awareness fraction under each discovery scheme (§3.1 oracles)."""
+    settle_s = float(point.settings.get("settle_s", 300.0))
+    scenario = build_scenario(point.scenario, point.seed, point.params)
+    names = sorted(scenario.nodes)
+    direct = DirectOnlyDiscovery(scenario.world, BLUETOOTH)
+    two_jump = TwoJumpDiscovery(scenario.world, BLUETOOTH)
+    full = FullMeshDiscovery(scenario.world, BLUETOOTH)
+    scenario.start_all()
+    scenario.run(until=settle_s)
+    return {
+        "nodes": len(names),
+        "direct_only": mean_awareness(direct.aware_of, names),
+        "two_jump": mean_awareness(two_jump.aware_of, names),
+        "dynamic_oracle": mean_awareness(full.aware_of, names),
+        "dynamic_measured": mean_awareness(scenario.awareness, names),
+    }
+
+
+# ----------------------------------------------------------------------
+# handover_decay: E8 — the Fig. 5.8 quality-decay handover run
+# ----------------------------------------------------------------------
+@register_workload("handover_decay")
+def handover_decay(point: RunPoint) -> Metrics:
+    """One Fig. 5.8 decay run: degrade A–B until handover fires."""
+    settle_s = float(point.settings.get("settle_s", 200.0))
+    message_count = int(point.settings.get("messages", 50))
+    scenario = build_scenario(point.scenario, point.seed, point.params)
+    server, client = scenario.node("A"), scenario.node("B")
+    delivered: list = []
+    _sink_service(server, delivered)
+    scenario.start_all()
+    scenario.run(until=settle_s)
+    if not scenario.wait_for_route("B", "A"):
+        return {"route_found": 0, "fired": 0}
+
+    def client_run(sim):
+        connection = yield from client.library.connect(
+            server.address, "sink", retries=6)
+        scenario.world.install_linear_decay(
+            "A", "B", BLUETOOTH, initial_quality=240)
+        thread = HandoverThread(client.library, connection).start()
+        for index in range(message_count):
+            connection.write(f"good morning! {index}", 64)
+            yield sim.timeout(1.0)
+        yield sim.timeout(5.0)
+        thread.stop()
+        return connection, thread
+
+    connection, thread = scenario.run_process(client_run(scenario.sim))
+    handover = scenario.trace.first("routing-handover")
+    lows_before = [e for e in scenario.trace.events("signal-low")
+                   if handover and e.time <= handover.time]
+    return {
+        "route_found": 1,
+        "fired": 1 if thread.handovers_done >= 1 else 0,
+        "duration_s": handover.detail["duration"] if handover else None,
+        "lows_before": len(lows_before),
+        "delivered": len(delivered),
+        "reestablished": scenario.trace.count(
+            "connection-reestablished", node="A"),
+    }
+
+
+# ----------------------------------------------------------------------
+# scale_neighbors: grid vs pairwise discovery rounds at constant density
+# ----------------------------------------------------------------------
+@register_workload("scale_neighbors")
+def scale_neighbors(point: RunPoint) -> Metrics:
+    """Full discovery rounds, spatial grid vs the O(N²) baseline.
+
+    The plaza's area is derived from ``density_per_m2`` so each node's
+    true neighbour count stays flat while N grows.  Distance-check
+    counts are deterministic metrics; per-implementation wall-clock
+    goes in ``"timings"`` (stripped from result records).
+    """
+    rounds = int(point.settings.get("rounds", 3))
+    step_s = float(point.settings.get("step_s", 15.0))
+    density = float(point.settings.get("density_per_m2",
+                                       500 / (120.0 * 120.0)))
+    count = int(point.params["count"])
+    params = dict(point.params)
+    params["area"] = (count / density) ** 0.5
+    scenario = build_scenario(point.scenario, point.seed, params)
+    world = scenario.world
+    grid_checks = brute_checks = 0
+    grid_seconds = brute_seconds = 0.0
+    for _ in range(rounds):
+        scenario.sim.timeout(step_s)
+        scenario.sim.run()
+        ids = world.node_ids()
+
+        world.stats.reset()
+        started = time.perf_counter()
+        grid_round = [world.neighbors(node_id, BLUETOOTH)
+                      for node_id in ids]
+        grid_seconds += time.perf_counter() - started
+        grid_checks += world.stats.distance_checks
+
+        world.stats.reset()
+        started = time.perf_counter()
+        brute_round = [world.neighbors_brute_force(node_id, BLUETOOTH)
+                       for node_id in ids]
+        brute_seconds += time.perf_counter() - started
+        brute_checks += world.stats.distance_checks
+
+        if grid_round != brute_round:
+            raise AssertionError(
+                f"grid and pairwise neighbor sets diverged at N={count}")
+    return {
+        "nodes": count,
+        "rounds": rounds,
+        "grid_checks": grid_checks // rounds,
+        "brute_checks": brute_checks // rounds,
+        "timings": {
+            "grid_ms": 1000.0 * grid_seconds / rounds,
+            "brute_ms": 1000.0 * brute_seconds / rounds,
+        },
+    }

@@ -6,11 +6,15 @@ This package gives every experiment the same instruments:
 
 * :class:`TrafficMeter` — per-node, per-category message/byte counters;
 * :class:`EventTrace` — an append-only timeline of labelled events;
-* :func:`summarize` — distribution summary used by the benchmark tables.
+* :func:`summarize` — distribution summary (mean/median/CI95) used by
+  the benchmark tables and the experiment report layer;
+* :func:`print_table` / :func:`format_table` / :func:`render_csv` —
+  the shared table renderers (:mod:`repro.metrics.tables`).
 """
 
 from repro.metrics.counters import TrafficMeter
-from repro.metrics.stats import Summary, summarize
+from repro.metrics.stats import Summary, summarize, t_critical_95
+from repro.metrics.tables import format_table, print_table, render_csv
 from repro.metrics.trace import EventTrace, TraceEvent
 
 __all__ = [
@@ -18,5 +22,9 @@ __all__ = [
     "Summary",
     "TraceEvent",
     "TrafficMeter",
+    "format_table",
+    "print_table",
+    "render_csv",
     "summarize",
+    "t_critical_95",
 ]

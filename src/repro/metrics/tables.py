@@ -1,0 +1,46 @@
+"""Aligned-table and CSV rendering shared by benchmarks and reports.
+
+One implementation serves both consumers: the paper-reproduction
+benchmarks (via :mod:`benchmarks.paperbench`, which re-exports
+:func:`print_table`) and ``python -m repro.experiments report``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import typing
+
+Rows = typing.Sequence[typing.Sequence[object]]
+
+
+def format_table(title: str, headers: typing.Sequence[str],
+                 rows: Rows) -> str:
+    """Render an aligned text table (the benchmark-table format)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    parts = [f"\n== {title} ==", line, "-" * len(line)]
+    for row in rendered:
+        parts.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(parts)
+
+
+def print_table(title: str, headers: typing.Sequence[str],
+                rows: Rows) -> None:
+    """Print an aligned reproduction table."""
+    print(format_table(title, headers, rows))
+
+
+def render_csv(headers: typing.Sequence[str], rows: Rows) -> str:
+    """Render rows as CSV text, deterministically (``\\n`` line ends)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()

@@ -1,9 +1,12 @@
 """Unit tests for counters, traces and statistics."""
 
+import math
+
 import pytest
 
 from repro.metrics import EventTrace, TrafficMeter, summarize
-from repro.metrics.stats import percentile
+from repro.metrics.stats import percentile, t_critical_95
+from repro.metrics.tables import format_table, render_csv
 
 
 # ----------------------------------------------------------------------
@@ -134,3 +137,60 @@ def test_percentile_validation():
         percentile([], 0.5)
     with pytest.raises(ValueError):
         percentile([1.0], 1.5)
+
+
+# ----------------------------------------------------------------------
+# ci95
+# ----------------------------------------------------------------------
+def test_ci95_known_sample():
+    # sd([1..5]) = sqrt(2.5), t(4, 95%) = 2.776
+    summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    expected = 2.776 * math.sqrt(2.5) / math.sqrt(5)
+    assert summary.ci95 == pytest.approx(expected, rel=1e-9)
+    assert 0 < summary.ci95 < summary.maximum - summary.minimum
+
+
+def test_ci95_single_observation_is_zero():
+    assert summarize([7.0]).ci95 == 0.0
+
+
+def test_ci95_constant_sample_is_zero():
+    assert summarize([3.0, 3.0, 3.0, 3.0]).ci95 == 0.0
+
+
+def test_ci95_shrinks_with_sample_size():
+    narrow = summarize([1.0, 2.0] * 20)
+    wide = summarize([1.0, 2.0] * 2)
+    assert narrow.ci95 < wide.ci95
+
+
+def test_t_critical_table_and_tail():
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(30) == pytest.approx(2.042)
+    # beyond the table: monotone toward the 1.96 normal quantile
+    assert 1.96 < t_critical_95(120) < t_critical_95(40) < 2.042
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_ci95_in_str():
+    assert "ci95=" in str(summarize([1.0, 2.0]))
+
+
+# ----------------------------------------------------------------------
+# tables
+# ----------------------------------------------------------------------
+def test_format_table_aligns_columns():
+    text = format_table("T", ["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = text.strip().split("\n")
+    assert lines[0] == "== T =="
+    # Both value cells start at the same column: the name column is
+    # padded to the widest cell ("long-name"), not just the header.
+    row_a, row_long = lines[-2], lines[-1]
+    assert row_a.index("1") == row_long.index("22")
+    assert row_a.index("1") > len("long-name")
+
+
+def test_render_csv_quotes_and_none():
+    text = render_csv(["a", "b"], [["x,y", None], [1, 2.5]])
+    assert text == 'a,b\n"x,y",\n1,2.5\n'
