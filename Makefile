@@ -4,6 +4,7 @@
 #   make test         tier-1 test suite (unit + integration + property)
 #   make bench        every paper-reproduction + scale benchmark
 #   make bench-scale  just the spatial-grid scale benchmark (fast)
+#   make bench-events just the event-driven handover benchmark (fast)
 #   make sweep        run the demo_sweep experiment campaign (4 workers)
 #   make lint         byte-compile every source tree (syntax/tab check)
 #   make quickstart   run the two-device example end to end
@@ -13,7 +14,7 @@ export PYTHONPATH := src
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test bench bench-scale sweep lint quickstart
+.PHONY: test bench bench-scale bench-events sweep lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +24,12 @@ bench:
 
 bench-scale:
 	$(PYTHON) -m pytest benchmarks/bench_scale_neighbors.py -q -s
+
+# Polling vs event-driven handover monitoring (writes
+# BENCH_event_handover.json).  BENCH_EVENT_N overrides the N=500 farm
+# size (the CI bench-smoke job runs it small).
+bench-events:
+	$(PYTHON) -m pytest benchmarks/bench_event_handover.py -q -s
 
 # The reference experiment campaign: 24 runs (2 scenarios x 2 node
 # counts x 2 radio mixes x 3 repeats) -> results/demo_sweep/.  Output

@@ -84,6 +84,13 @@ class HandoverConfig:
         False) the thread "will be aware about the no need for the
         reconnection and avoid the routing handover or service
         reconnection".
+    event_driven:
+        True (default): state-1 monitoring subscribes to predicted
+        quality-threshold crossings on the connectivity bus and sleeps
+        until low readings are possible — same decisions as polling,
+        a small fraction of the wakeups.  False: the paper-faithful
+        fixed-interval polling loop, kept as the oracle baseline the
+        equivalence tests and ``bench_event_handover`` compare against.
     """
 
     low_quality_threshold: int = PAPER_LOW_QUALITY_THRESHOLD
@@ -93,12 +100,17 @@ class HandoverConfig:
     max_handover_attempts: int = 2
     connect_retries: int = 1
     respect_sending_flag: bool = True
+    event_driven: bool = True
 
     def __post_init__(self) -> None:
         if self.monitor_interval_s <= 0:
             raise ValueError("monitor interval must be positive")
         if self.low_count_limit < 1:
             raise ValueError("low count limit must be >= 1")
+        if not 0 <= self.low_quality_threshold <= 255:
+            raise ValueError(
+                f"low quality threshold out of range: "
+                f"{self.low_quality_threshold}")
 
 
 @dataclasses.dataclass

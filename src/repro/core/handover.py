@@ -13,6 +13,23 @@ Implements the Fig. 5.5 state machine:
   route carrying PH_RECONNECT, swap the transport under the application
   connection (ChangeConnection callback) and return to monitoring.
 
+State 1 comes in two implementations, selected by
+``HandoverConfig.event_driven``:
+
+* **polling** (the paper-faithful oracle): wake every
+  ``monitor_interval_s`` and read the quality — ``N`` monitors cost
+  ``N / interval`` kernel wakeups per second whether anything moves.
+* **event-driven** (default): subscribe to the connectivity bus for the
+  *predicted* instant quality next reads below the threshold and sleep
+  until then; once low readings are possible, sample at the same aligned
+  cadence the polling loop would use.  Every reading the polling oracle
+  would have acted on (a low one, or a good one that resets a non-zero
+  counter) happens at the same instant with the same value, so the
+  decision sequence is identical — the readings skipped are exactly the
+  no-ops (good quality, counter already zero).  ``monitor_wakeups``
+  counts process wake-ups in both modes; ``bench_event_handover``
+  gates the ratio.
+
 When no routing handover is possible — no candidate bridge, or the
 attempts limit is exceeded — the thread falls back to **service
 reconnection** (§5.2.2): find another provider of the same service, ask
@@ -79,9 +96,11 @@ class HandoverThread:
         self.low_count = 0
         self.handover_attempts = 0
         self.handovers_done = 0
+        self.monitor_wakeups = 0
         self.best_route: "StoredDevice | None" = None
         self._active = False
         self._process = None
+        self._sleep_watch = None
 
     @property
     def node_id(self) -> str:
@@ -102,14 +121,29 @@ class HandoverThread:
         return self
 
     def stop(self) -> None:
-        """Stop monitoring (the connection itself is left alone)."""
+        """Stop monitoring (the connection itself is left alone).
+
+        Wakes an event-driven monitor out of its predictive sleep so the
+        process exits promptly instead of waiting for a crossing that no
+        longer matters.
+        """
         self._active = False
         self.state = HandoverState.STOPPED
+        watch = self._sleep_watch
+        if watch is not None and watch.active:
+            watch.cancel()  # on_cancel wakes the sleeping monitor
 
     # ------------------------------------------------------------------
     # the Fig. 5.5 loop
     # ------------------------------------------------------------------
     def _run(self) -> typing.Generator:
+        if self.config.event_driven:
+            yield from self._run_event_driven()
+        else:
+            yield from self._run_polling()
+
+    def _run_polling(self) -> typing.Generator:
+        """The paper's loop: one quality reading every monitor interval."""
         last_refresh = -float("inf")
         while self._active and self.connection.is_open:
             # State 0: periodically re-derive the best alternative route.
@@ -121,28 +155,105 @@ class HandoverThread:
             # State 1: monitor the link quality.
             self.state = HandoverState.MONITORING
             yield self.sim.timeout(self.config.monitor_interval_s)
+            self.monitor_wakeups += 1
             if not self._active or not self.connection.is_open:
                 break
-            if (self.config.respect_sending_flag
-                    and not self.connection.sending):
-                # §5.3: the application finished sending; a broken link
-                # needs no repair until the server routes the result back.
-                self.low_count = 0
-                continue
-            quality = self.connection.quality()
-            if quality < self.config.low_quality_threshold:
-                self.low_count += 1
-                self.fabric.trace.record(
-                    self.sim.now, self.node_id, "signal-low",
-                    connection_id=self.connection.connection_id,
-                    quality=quality, low_count=self.low_count)
-            else:
-                self.low_count = 0
-            if self.low_count > self.config.low_count_limit:
-                self.state = HandoverState.SUBSTITUTING
-                yield from self._do_handover()
-                self.low_count = 0
+            yield from self._take_reading()
         self.state = HandoverState.STOPPED
+
+    #: Slack when re-aligning the reading cadence to a predicted crossing
+    #: (absorbs the solver's bisection tolerance and float root error).
+    _ALIGN_TOL_S = 1e-6
+
+    def _run_event_driven(self) -> typing.Generator:
+        """State-1 monitoring driven by predicted threshold crossings.
+
+        Reading instants follow the same accumulation the polling loop
+        produces (``previous iteration end + interval``); intervals in
+        which the polling oracle could only have read good quality onto a
+        zero counter are slept through in one bus-predicted wait.
+        """
+        interval = self.config.monitor_interval_s
+        self.state = HandoverState.ROUTE_DISCOVERY
+        self._refresh_best_route()
+        next_reading = self.sim.now + interval
+        while self._active and self.connection.is_open:
+            self.state = HandoverState.MONITORING
+            if (self.low_count == 0 and self.connection.quality()
+                    >= self.config.low_quality_threshold):
+                yield from self._sleep_until_low_possible()
+                if not self._active or not self.connection.is_open:
+                    break
+                # Drop the aligned readings the sleep skipped — polling
+                # read good quality onto a zero counter at each (no-ops).
+                while next_reading < self.sim.now - self._ALIGN_TOL_S:
+                    next_reading += interval
+            delay = next_reading - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.monitor_wakeups += 1
+            if not self._active or not self.connection.is_open:
+                break
+            yield from self._take_reading()
+            next_reading = self.sim.now + interval
+        self.state = HandoverState.STOPPED
+
+    def _sleep_until_low_possible(self) -> typing.Generator:
+        """Park until quality *can* read below the threshold.
+
+        Subscribes a one-shot QualityBelow watch on the connection's
+        current first hop; the bus fires it at the predicted crossing
+        (immediately if quality is already low).  Watch cancellation
+        (node removed, thread stopped) also wakes us — the loop then
+        re-examines the connection state.
+        """
+        link = self.connection.link
+        waiter = self.sim.event(
+            f"handover-low-wait:{self.node_id}:"
+            f"conn{self.connection.connection_id}")
+
+        def fired(_event) -> None:
+            if not waiter.triggered:
+                waiter.succeed(_event)
+
+        def cancelled() -> None:
+            if not waiter.triggered:
+                waiter.succeed(None)
+
+        watch = self.fabric.world.bus.watch_quality_below(
+            link.node_a, link.node_b, link.tech,
+            self.config.low_quality_threshold,
+            callback=fired, on_cancel=cancelled)
+        self._sleep_watch = watch
+        try:
+            yield waiter
+        finally:
+            self._sleep_watch = None
+            if watch.active:
+                watch.cancel()
+        self.monitor_wakeups += 1
+
+    def _take_reading(self) -> typing.Generator:
+        """One state-1 reading; shared verbatim by both monitor modes."""
+        if (self.config.respect_sending_flag
+                and not self.connection.sending):
+            # §5.3: the application finished sending; a broken link
+            # needs no repair until the server routes the result back.
+            self.low_count = 0
+            return
+        quality = self.connection.quality()
+        if quality < self.config.low_quality_threshold:
+            self.low_count += 1
+            self.fabric.trace.record(
+                self.sim.now, self.node_id, "signal-low",
+                connection_id=self.connection.connection_id,
+                quality=quality, low_count=self.low_count)
+        else:
+            self.low_count = 0
+        if self.low_count > self.config.low_count_limit:
+            self.state = HandoverState.SUBSTITUTING
+            yield from self._do_handover()
+            self.low_count = 0
 
     def _refresh_best_route(self) -> None:
         candidates = self.library.node.daemon.storage.find_handover_routes(

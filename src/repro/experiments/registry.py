@@ -28,6 +28,7 @@ from repro.scenarios import (
     flash_crowd,
     line_topology,
     random_disc,
+    replay_arena,
     sparse_highway,
     tunnel_topology,
 )
@@ -224,6 +225,10 @@ register_scenario(
         Param("technologies", tuple, ("wlan",), "radio mix", element=str),
     ),
     summary="fast vehicles strung along kilometres of road")
+
+register_scenario(
+    "replay_arena", replay_arena,
+    summary="empty world under which recorded contact traces replay")
 
 register_scenario(
     "flash_crowd", flash_crowd,

@@ -39,7 +39,9 @@ def aggregate(records: typing.Iterable[dict]) -> list[AggregateRow]:
 
     ``None`` metric values (e.g. "newcomer never detected") are
     excluded from that metric's sample; a metric observed only as
-    ``None`` is dropped from the row.  Rows come back sorted by
+    ``None`` is dropped from the row.  Non-numeric metrics (the
+    contact-trace workloads record digest strings) are identity, not
+    sample data, and are skipped.  Rows come back sorted by
     (scenario, params).
     """
     groups: dict[tuple[str, str], list[dict]] = {}
@@ -56,6 +58,8 @@ def aggregate(records: typing.Iterable[dict]) -> list[AggregateRow]:
                     continue
                 if isinstance(value, bool):
                     value = int(value)
+                if not isinstance(value, (int, float)):
+                    continue
                 samples.setdefault(metric, []).append(float(value))
         rows.append(AggregateRow(
             scenario=scenario, params_json=params_json, runs=len(members),

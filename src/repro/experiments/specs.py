@@ -84,6 +84,19 @@ register_spec(ExperimentSpec(
     settings={"settle_s": 200.0, "messages": 50},
     description="decay-driven routing handover, repeated Fig. 5.8 runs"))
 
+#: The contact-trace scenario family: record pairwise LinkUp/LinkDown
+#: streams across density regimes, purely event-driven (zero polling).
+register_spec(ExperimentSpec(
+    name="contact_sweep",
+    workload="contact_trace",
+    scenarios=("sparse_highway", "dense_plaza"),
+    axes={"count": (12, 24), "technologies": (("wlan",),)},
+    repeats=2,
+    master_seed=90,
+    settings={"duration_s": 120.0, "tech": "wlan"},
+    description=("pairwise contact traces from the analytic crossing "
+                 "solver, recorded without polling")))
+
 #: The production-scale gate: grid vs pairwise discovery at growing N.
 register_spec(ExperimentSpec(
     name="scale_sweep",

@@ -25,12 +25,20 @@ from repro.baselines.previous_peerhood import (
     TwoJumpDiscovery,
     mean_awareness,
 )
+from repro.core.config import HandoverConfig
 from repro.core.errors import ConnectionClosedError, PeerHoodError
 from repro.core.handover import HandoverThread
 from repro.experiments.registry import build_scenario, get_scenario
 from repro.experiments.spec import RunPoint
 from repro.radio.channel import OutOfRange
 from repro.radio.technologies import BLUETOOTH
+from repro.scenarios.traces import (
+    load_trace,
+    record_contact_trace,
+    replay_trace,
+    trace_digest,
+    write_trace,
+)
 
 Metrics = typing.Dict[str, object]
 
@@ -235,9 +243,15 @@ def awareness_schemes(point: RunPoint) -> Metrics:
 # ----------------------------------------------------------------------
 @register_workload("handover_decay")
 def handover_decay(point: RunPoint) -> Metrics:
-    """One Fig. 5.8 decay run: degrade A–B until handover fires."""
+    """One Fig. 5.8 decay run: degrade A–B until handover fires.
+
+    ``settings["event_driven"]`` selects the state-1 monitor mode
+    (default True); the equivalence test runs the same spec in both
+    modes and asserts the decision metrics match.
+    """
     settle_s = float(point.settings.get("settle_s", 200.0))
     message_count = int(point.settings.get("messages", 50))
+    event_driven = bool(point.settings.get("event_driven", True))
     scenario = build_scenario(point.scenario, point.seed, point.params)
     server, client = scenario.node("A"), scenario.node("B")
     delivered: list = []
@@ -252,7 +266,9 @@ def handover_decay(point: RunPoint) -> Metrics:
             server.address, "sink", retries=6)
         scenario.world.install_linear_decay(
             "A", "B", BLUETOOTH, initial_quality=240)
-        thread = HandoverThread(client.library, connection).start()
+        thread = HandoverThread(
+            client.library, connection,
+            config=HandoverConfig(event_driven=event_driven)).start()
         for index in range(message_count):
             connection.write(f"good morning! {index}", 64)
             yield sim.timeout(1.0)
@@ -270,8 +286,73 @@ def handover_decay(point: RunPoint) -> Metrics:
         "duration_s": handover.detail["duration"] if handover else None,
         "lows_before": len(lows_before),
         "delivered": len(delivered),
+        "monitor_wakeups": thread.monitor_wakeups,
         "reestablished": scenario.trace.count(
             "connection-reestablished", node="A"),
+    }
+
+
+# ----------------------------------------------------------------------
+# contact_trace: record the pairwise connectivity-event stream
+# ----------------------------------------------------------------------
+@register_workload("contact_trace")
+def contact_trace(point: RunPoint) -> Metrics:
+    """Record a contact trace of the scenario's geometry, zero polling.
+
+    One repeating link watch per node pair; the kernel wakes only at
+    predicted crossings.  ``settings``: ``duration_s`` (default 120),
+    ``tech`` (default bluetooth), optional ``out_path`` to persist the
+    JSONL stream.  The digest is a deterministic fingerprint of the
+    canonical serialisation — the replay workload reproduces it.
+    """
+    duration_s = float(point.settings.get("duration_s", 120.0))
+    tech = str(point.settings.get("tech", "bluetooth"))
+    out_path = point.settings.get("out_path")
+    scenario = build_scenario(point.scenario, point.seed, point.params)
+    rows = record_contact_trace(scenario, tech, until=duration_s)
+    if out_path:
+        write_trace(rows, str(out_path))
+    kinds = [row["kind"] for row in rows]
+    stats = scenario.world.stats.bus
+    return {
+        "nodes": len(scenario.nodes),
+        "events": len(rows),
+        "link_ups": kinds.count("link-up"),
+        "link_downs": kinds.count("link-down"),
+        "digest": trace_digest(rows),
+        "bus_scheduled": stats.scheduled,
+        "bus_fired": stats.fired,
+        "bus_cancelled": stats.cancelled,
+        "bus_rescheduled": stats.rescheduled,
+    }
+
+
+# ----------------------------------------------------------------------
+# trace_replay: a recorded contact trace as a mobility-free workload
+# ----------------------------------------------------------------------
+@register_workload("trace_replay")
+def trace_replay(point: RunPoint) -> Metrics:
+    """Replay a recorded trace: scheduled events, no world, no mobility.
+
+    ``settings``: ``trace_path`` (required), optional ``out_path`` to
+    write the replayed stream back out — byte-identical to the input
+    recording, which the trace tests assert through this runner.
+    """
+    path = point.settings.get("trace_path")
+    if not path:
+        raise ValueError("trace_replay needs settings['trace_path']")
+    rows = load_trace(str(path))
+    result = replay_trace(rows)
+    out_path = point.settings.get("out_path")
+    if out_path:
+        write_trace(result.rows, str(out_path))
+    kinds = [row["kind"] for row in result.rows]
+    return {
+        "events": len(result.rows),
+        "link_ups": kinds.count("link-up"),
+        "link_downs": kinds.count("link-down"),
+        "final_t": result.final_time,
+        "digest": result.digest(),
     }
 
 

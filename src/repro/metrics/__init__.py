@@ -12,12 +12,13 @@ This package gives every experiment the same instruments:
   the shared table renderers (:mod:`repro.metrics.tables`).
 """
 
-from repro.metrics.counters import TrafficMeter
+from repro.metrics.counters import BusCounters, TrafficMeter
 from repro.metrics.stats import Summary, summarize, t_critical_95
 from repro.metrics.tables import format_table, print_table, render_csv
 from repro.metrics.trace import EventTrace, TraceEvent
 
 __all__ = [
+    "BusCounters",
     "EventTrace",
     "Summary",
     "TraceEvent",

@@ -8,12 +8,57 @@ Categories used by the stack:
   two-hop message counts twice — the paper's "double amount of time" for
   interconnection shows up here as double volume);
 * ``query`` — the Gnutella baseline's flooded queries (§3.2).
+
+:class:`BusCounters` instruments the connectivity-event bus
+(:mod:`repro.radio.bus`) — it lives here so the metrics layer owns every
+benchmark-asserted counter shape, and surfaces as ``world.stats.bus``.
 """
 
 from __future__ import annotations
 
 import collections
 import dataclasses
+
+
+@dataclasses.dataclass
+class BusCounters:
+    """Connectivity-event-bus activity (``world.stats.bus``).
+
+    Attributes
+    ----------
+    scheduled:
+        Predicted crossings turned into kernel events (``call_at``).
+    fired:
+        Connectivity events delivered to watch callbacks.
+    cancelled:
+        Watches cancelled before their next event fired (power-off,
+        node removal, link teardown, monitor stop).
+    rescheduled:
+        Re-arms without a firing: horizon rollover re-checks plus
+        re-predictions after a quality-override change invalidated the
+        outstanding schedule.
+    """
+
+    scheduled: int = 0
+    fired: int = 0
+    cancelled: int = 0
+    rescheduled: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (between benchmark rounds)."""
+        self.scheduled = 0
+        self.fired = 0
+        self.cancelled = 0
+        self.rescheduled = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot for JSON benchmark artifacts."""
+        return {
+            "scheduled": self.scheduled,
+            "fired": self.fired,
+            "cancelled": self.cancelled,
+            "rescheduled": self.rescheduled,
+        }
 
 
 @dataclasses.dataclass

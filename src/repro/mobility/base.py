@@ -8,6 +8,11 @@ import typing
 #: A 2-D position in metres.
 Point = typing.Tuple[float, float]
 
+#: One piece of piecewise-linear motion: ``(start_t, end_t, position at
+#: start_t, velocity)``.  Within the piece ``position(t) = p + v * (t -
+#: start_t)``.  Times in sim-seconds, positions in metres, velocity m/s.
+Segment = typing.Tuple[float, float, Point, Point]
+
 
 def distance(a: Point, b: Point) -> float:
     """Euclidean distance between two points in metres."""
@@ -30,3 +35,24 @@ class MobilityModel:
     def is_mobile(self) -> bool:
         """True if the model ever changes position (for trace labelling)."""
         return True
+
+    def linear_segments(self, t0: float,
+                        t1: float) -> typing.List[Segment] | None:
+        """Piecewise-linear description of the motion over ``[t0, t1]``.
+
+        Returns contiguous :data:`Segment` tuples covering exactly the
+        window (first starts at ``t0``, last ends at ``t1``), or ``None``
+        when the model cannot express its motion in closed form — the
+        connectivity-event solver (:mod:`repro.radio.contacts`) then falls
+        back to guarded bisection.  All bundled models are piecewise
+        linear and override this.
+        """
+        return None
+
+    def settled_after(self) -> float | None:
+        """Time after which the position is constant forever, or ``None``.
+
+        Lets the contact solver mark a pair as *final* (no further link
+        crossings can ever occur) instead of re-checking every horizon.
+        """
+        return None

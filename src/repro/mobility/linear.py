@@ -28,6 +28,18 @@ class LinearMovement(MobilityModel):
     def is_mobile(self) -> bool:
         return self.velocity != (0.0, 0.0)
 
+    def linear_segments(self, t0: float, t1: float):
+        still = (0.0, 0.0)
+        if t1 <= self.start_time or self.velocity == still:
+            return [(t0, t1, self.position(t0), still)]
+        if t0 >= self.start_time:
+            return [(t0, t1, self.position(t0), self.velocity)]
+        return [(t0, self.start_time, self.start, still),
+                (self.start_time, t1, self.start, self.velocity)]
+
+    def settled_after(self) -> float | None:
+        return 0.0 if self.velocity == (0.0, 0.0) else None
+
     def __repr__(self) -> str:
         return (f"LinearMovement(start={self.start}, "
                 f"velocity={self.velocity}, t0={self.start_time})")
@@ -66,6 +78,34 @@ class PathMovement(MobilityModel):
     def is_mobile(self) -> bool:
         points = {p for _, p in self.waypoints}
         return len(points) > 1
+
+    def linear_segments(self, t0: float, t1: float):
+        segments: list = []
+        cursor = t0
+        first_time = self.waypoints[0][0]
+        if cursor < first_time:
+            end = min(first_time, t1)
+            segments.append((cursor, end, self.waypoints[0][1], (0.0, 0.0)))
+            cursor = end
+        for (a_t, a_p), (b_t, b_p) in zip(self.waypoints,
+                                          self.waypoints[1:]):
+            if cursor >= t1:
+                break
+            if b_t <= cursor or b_t == a_t:
+                continue
+            end = min(b_t, t1)
+            if end <= cursor:
+                continue
+            velocity = ((b_p[0] - a_p[0]) / (b_t - a_t),
+                        (b_p[1] - a_p[1]) / (b_t - a_t))
+            segments.append((cursor, end, self.position(cursor), velocity))
+            cursor = end
+        if cursor < t1:
+            segments.append((cursor, t1, self.waypoints[-1][1], (0.0, 0.0)))
+        return segments
+
+    def settled_after(self) -> float:
+        return self.waypoints[-1][0]
 
     def total_distance(self) -> float:
         """Length of the scripted path in metres."""

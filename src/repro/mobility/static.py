@@ -17,5 +17,11 @@ class StaticPosition(MobilityModel):
     def is_mobile(self) -> bool:
         return False
 
+    def linear_segments(self, t0: float, t1: float):
+        return [(t0, t1, self._point, (0.0, 0.0))]
+
+    def settled_after(self) -> float:
+        return 0.0
+
     def __repr__(self) -> str:
         return f"StaticPosition{self._point}"

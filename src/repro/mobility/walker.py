@@ -54,6 +54,38 @@ class CorridorWalk(MobilityModel):
         return (self.origin[0] + self._direction[0] * travelled,
                 self.origin[1] + self._direction[1] * travelled)
 
+    def linear_segments(self, t0: float, t1: float):
+        still = (0.0, 0.0)
+        velocity = (self._direction[0] * self.speed,
+                    self._direction[1] * self.speed)
+        boundaries = [self.depart_time]
+        if self.stop_distance is not None:
+            boundaries.append(self.depart_time
+                              + self.stop_distance / self.speed)
+        segments: list = []
+        cursor = t0
+        for boundary in boundaries:
+            if cursor >= t1:
+                break
+            if boundary <= cursor:
+                continue
+            end = min(boundary, t1)
+            moving = cursor >= self.depart_time
+            segments.append((cursor, end, self.position(cursor),
+                             velocity if moving else still))
+            cursor = end
+        if cursor < t1:
+            moving = (self.stop_distance is None
+                      and cursor >= self.depart_time)
+            segments.append((cursor, t1, self.position(cursor),
+                             velocity if moving else still))
+        return segments
+
+    def settled_after(self) -> float | None:
+        if self.stop_distance is None:
+            return None
+        return self.depart_time + self.stop_distance / self.speed
+
     def time_to_distance(self, distance_m: float) -> float:
         """Virtual time at which the walker is ``distance_m`` from origin."""
         if distance_m < 0:

@@ -70,6 +70,42 @@ class RandomWaypoint(MobilityModel):
             self._next_leg_start = leg_end + pause
             self._current_point = target
 
+    def linear_segments(self, t0: float, t1: float):
+        """Legs and pauses intersecting ``[t0, t1]``; extends the cache.
+
+        Leg generation draws only from this model's own stream, so
+        predicting ahead never perturbs any other component — the legs a
+        later ``position`` query would generate are identical.
+        """
+        if t0 < 0:
+            t0 = 0.0
+        self._extend_until(t1)
+        still = (0.0, 0.0)
+        segments: list = []
+        cursor = t0
+        index = max(0, bisect.bisect_right(self._leg_starts, t0) - 1)
+        for i in range(index, len(self._legs)):
+            if cursor >= t1:
+                break
+            leg_start, leg_end, origin, target = self._legs[i]
+            if leg_start > cursor:  # pause before this leg departs
+                end = min(leg_start, t1)
+                segments.append((cursor, end, self.position(cursor), still))
+                cursor = end
+                if cursor >= t1:
+                    break
+            if leg_end <= cursor or leg_end == leg_start:
+                continue
+            travel = leg_end - leg_start
+            velocity = ((target[0] - origin[0]) / travel,
+                        (target[1] - origin[1]) / travel)
+            end = min(leg_end, t1)
+            segments.append((cursor, end, self.position(cursor), velocity))
+            cursor = end
+        if cursor < t1:  # pausing past the last generated leg's arrival
+            segments.append((cursor, t1, self.position(cursor), still))
+        return segments
+
     def position(self, t: float) -> Point:
         """Position at time ``t`` (sim-seconds); O(log legs) per call."""
         if t < 0:

@@ -17,9 +17,16 @@ those radios with a 2-D world model:
   grid-backed range/neighbor queries and quality lookups, plus the paper's
   artificial quality decay fault injection (Fig. 5.8);
 * :mod:`~repro.radio.channel` — physical link establishment and framed
-  transmission with latency, loss on range exit, and teardown.
+  transmission with latency, loss on range exit, and teardown (scheduled
+  at the predicted LinkDown instant);
+* :mod:`~repro.radio.contacts` — the analytic crossing-time solver:
+  closed-form LinkUp/LinkDown and quality-threshold instants over
+  piecewise-linear mobility, with a guarded-bisection fallback;
+* :mod:`~repro.radio.bus` — the connectivity-event bus that turns those
+  predictions into scheduled (and cancellable) kernel events.
 """
 
+from repro.radio.bus import ConnectivityBus, ConnectivityEvent, Watch
 from repro.radio.channel import (
     ChannelClosed,
     ConnectFault,
@@ -27,6 +34,7 @@ from repro.radio.channel import (
     LinkEstablisher,
     OutOfRange,
 )
+from repro.radio.contacts import ContactSolver, Crossing
 from repro.radio.propagation import LogDistancePathLoss, PathLossModel
 from repro.radio.spatial import SpatialGrid, WorldStats
 from repro.radio.quality import (
@@ -49,8 +57,13 @@ __all__ = [
     "BLUETOOTH",
     "ChannelClosed",
     "ConnectFault",
+    "ConnectivityBus",
+    "ConnectivityEvent",
+    "ContactSolver",
+    "Crossing",
     "GPRS",
     "Link",
+    "Watch",
     "LinkEstablisher",
     "LogDistancePathLoss",
     "OutOfRange",

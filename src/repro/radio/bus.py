@@ -1,0 +1,349 @@
+"""The connectivity-event bus: predicted crossings as scheduled events.
+
+Where the seed stack *polled* — the handover monitor sampled link quality
+every second, links discovered breakage on the next frame — this bus asks
+the :class:`~repro.radio.contacts.ContactSolver` for the next crossing of
+interest and schedules exactly one kernel event at that instant
+(:meth:`~repro.sim.kernel.Simulator.call_at`).  Kernel wakeups for link
+maintenance then scale with how often connectivity actually *changes*,
+not with ``N × poll-rate``.
+
+Watches
+-------
+A :class:`Watch` observes one (pair, technology) for either range-ring
+flips (LinkUp/LinkDown) or quality-threshold flips (QualityAbove/
+QualityBelow).  Repeating watches re-arm after every firing (contact
+traces); one-shot watches complete on their first firing (a link's
+scheduled break, a monitor's next-low wake-up).
+
+Invalidation rules (the part polling got for free):
+
+* **node removed / powered off** — :meth:`ConnectivityBus.cancel_node`
+  cancels every watch naming the node; an already-scheduled kernel event
+  fires as a no-op.  Wired into ``World.remove_node``.
+* **quality override installed or cleared** — the closed-form prediction
+  is stale; :meth:`ConnectivityBus.invalidate_pair` re-predicts every
+  watch on the pair.  Wired into ``World.set_quality_override``.
+* **mobility segment rollover** — predictions only look ``horizon_s``
+  ahead (random-waypoint legs are generated lazily); a window with no
+  crossing re-arms at the horizon.  Pairs that are *settled* (both
+  models constant forever — static scenarios) park instead: zero
+  events, ever.
+
+Counters (``world.stats.bus``, a :class:`~repro.metrics.counters.
+BusCounters`) record scheduled / fired / cancelled / rescheduled — the
+scale benchmarks assert on them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.radio.contacts import ContactSolver, Crossing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.technologies import Technology
+    from repro.radio.world import World
+    from repro.sim.kernel import ScheduledCall
+
+#: Event kinds.
+LINK_UP = "link-up"
+LINK_DOWN = "link-down"
+QUALITY_ABOVE = "quality-above"
+QUALITY_BELOW = "quality-below"
+
+
+@dataclasses.dataclass(frozen=True)
+class ConnectivityEvent:
+    """One fired connectivity prediction.
+
+    ``node_a < node_b`` (pairs are unordered); ``threshold`` is set only
+    for quality events.  ``time`` is the crossing instant in sim-seconds.
+    """
+
+    time: float
+    kind: str
+    node_a: str
+    node_b: str
+    tech: str
+    threshold: int | None = None
+
+    def pair(self) -> tuple[str, str]:
+        return (self.node_a, self.node_b)
+
+
+class Watch:
+    """One armed observation; returned by the ``watch_*`` methods."""
+
+    __slots__ = ("bus", "watch_id", "node_a", "node_b", "tech", "threshold",
+                 "callback", "on_cancel", "once", "only_kind", "active",
+                 "last_fired", "_handle")
+
+    def __init__(self, bus: "ConnectivityBus", watch_id: int, node_a: str,
+                 node_b: str, tech: "Technology", threshold: int | None,
+                 callback: typing.Callable[[ConnectivityEvent], None],
+                 on_cancel: typing.Callable[[], None] | None,
+                 once: bool, only_kind: str | None):
+        self.bus = bus
+        self.watch_id = watch_id
+        self.node_a = node_a
+        self.node_b = node_b
+        self.tech = tech
+        self.threshold = threshold
+        self.callback = callback
+        self.on_cancel = on_cancel
+        self.once = once
+        self.only_kind = only_kind
+        self.active = True
+        self.last_fired: ConnectivityEvent | None = None
+        self._handle: "ScheduledCall | None" = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a kernel event is scheduled for this watch."""
+        return self._handle is not None and not self._handle.cancelled
+
+    def cancel(self) -> None:
+        """Convenience for :meth:`ConnectivityBus.cancel`."""
+        self.bus.cancel(self)
+
+
+class ConnectivityBus:
+    """Deterministic scheduler of predicted connectivity events."""
+
+    def __init__(self, world: "World",
+                 solver: ContactSolver | None = None):
+        self.world = world
+        self.sim = world.sim
+        self.solver = solver or ContactSolver(world)
+        self.stats = world.stats.bus
+        self._watches: dict[int, Watch] = {}
+        self._by_node: dict[str, set[int]] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # watch registration
+    # ------------------------------------------------------------------
+    def watch_link(self, node_a: str, node_b: str, tech: "Technology",
+                   callback: typing.Callable[[ConnectivityEvent], None],
+                   on_cancel: typing.Callable[[], None] | None = None,
+                   ) -> Watch:
+        """Repeating watch: fire at every LinkUp/LinkDown of the pair."""
+        return self._register(node_a, node_b, tech, None, callback,
+                              on_cancel, once=False, only_kind=None)
+
+    def watch_link_down(self, node_a: str, node_b: str, tech: "Technology",
+                        callback: typing.Callable[
+                            [ConnectivityEvent], None],
+                        on_cancel: typing.Callable[[], None] | None = None,
+                        ) -> Watch:
+        """One-shot watch: fire once at the pair's next LinkDown.
+
+        Used by :class:`~repro.radio.channel.Link` to break at the
+        scheduled instant the endpoints leave coverage.
+        """
+        return self._register(node_a, node_b, tech, None, callback,
+                              on_cancel, once=True, only_kind=LINK_DOWN)
+
+    def watch_quality_below(self, node_a: str, node_b: str,
+                            tech: "Technology", threshold: int,
+                            callback: typing.Callable[
+                                [ConnectivityEvent], None],
+                            on_cancel: typing.Callable[[], None]
+                            | None = None) -> Watch:
+        """One-shot watch: fire when quality next reads below threshold.
+
+        If the pair's quality is *already* below the threshold the event
+        fires on the next kernel step at the current instant — callers
+        need no pre-check.  Used by the event-driven handover monitor.
+        """
+        if not 0 <= threshold <= 255:
+            raise ValueError(f"threshold out of range: {threshold}")
+        return self._register(node_a, node_b, tech, threshold, callback,
+                              on_cancel, once=True, only_kind=QUALITY_BELOW)
+
+    def _register(self, node_a: str, node_b: str, tech: "Technology",
+                  threshold: int | None,
+                  callback: typing.Callable[[ConnectivityEvent], None],
+                  on_cancel: typing.Callable[[], None] | None,
+                  once: bool, only_kind: str | None) -> Watch:
+        first, second = sorted((node_a, node_b))
+        watch = Watch(self, self._next_id, first, second, tech, threshold,
+                      callback, on_cancel, once, only_kind)
+        self._next_id += 1
+        self._watches[watch.watch_id] = watch
+        self._by_node.setdefault(first, set()).add(watch.watch_id)
+        self._by_node.setdefault(second, set()).add(watch.watch_id)
+        self._arm(watch)
+        return watch
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def cancel(self, watch: Watch) -> None:
+        """Cancel a watch; its pending kernel event becomes a no-op.
+
+        Idempotent.  Fires the watch's ``on_cancel`` hook (the handover
+        monitor uses it to wake from a predictive sleep and re-examine
+        its connection).
+        """
+        if not watch.active:
+            return
+        watch.active = False
+        if watch._handle is not None:
+            watch._handle.cancel()
+            watch._handle = None
+        self._forget(watch)
+        self.stats.cancelled += 1
+        if watch.on_cancel is not None:
+            watch.on_cancel()
+
+    def cancel_node(self, node_id: str) -> int:
+        """Cancel every watch naming ``node_id``; returns how many.
+
+        Called by ``World.remove_node`` so no contact or quality event
+        for a powered-off/removed node can ever fire.
+        """
+        watch_ids = self._by_node.pop(node_id, set())
+        cancelled = 0
+        for watch_id in sorted(watch_ids):
+            watch = self._watches.get(watch_id)
+            if watch is not None and watch.active:
+                self.cancel(watch)
+                cancelled += 1
+        return cancelled
+
+    def invalidate_pair(self, node_a: str, node_b: str,
+                        tech: "Technology") -> None:
+        """Re-predict every watch on the pair (quality override changed)."""
+        first, second = sorted((node_a, node_b))
+        ids = self._by_node.get(first, set()) & self._by_node.get(
+            second, set())
+        for watch_id in sorted(ids):
+            watch = self._watches.get(watch_id)
+            if (watch is None or not watch.active
+                    or watch.tech.name != tech.name):
+                continue
+            if watch._handle is not None:
+                watch._handle.cancel()
+                watch._handle = None
+            self.stats.rescheduled += 1
+            self._arm(watch)
+
+    def _forget(self, watch: Watch) -> None:
+        self._watches.pop(watch.watch_id, None)
+        for node_id in (watch.node_a, watch.node_b):
+            members = self._by_node.get(node_id)
+            if members is not None:
+                members.discard(watch.watch_id)
+                if not members:
+                    del self._by_node[node_id]
+
+    # ------------------------------------------------------------------
+    # prediction → schedule → fire
+    # ------------------------------------------------------------------
+    #: Two same-kind events of one watch closer than this are float noise
+    #: from re-solving at a root, not a physical re-crossing.
+    _DEDUP_TOL_S = 1e-6
+
+    def _predict(self, watch: Watch,
+                 t0: float | None) -> Crossing | None:
+        if watch.threshold is None:
+            return self.solver.next_link_crossing(
+                watch.node_a, watch.node_b, watch.tech, t0=t0)
+        if t0 is None and watch.only_kind == QUALITY_BELOW:
+            quality = self.world.link_quality_at(
+                watch.node_a, watch.node_b, watch.tech, self.sim.now)
+            if quality < watch.threshold:
+                # Already below at arm time: fire at the current instant.
+                return Crossing(self.sim.now, inside=False)
+        return self.solver.next_quality_crossing(
+            watch.node_a, watch.node_b, watch.tech, watch.threshold, t0=t0)
+
+    def _kind_of(self, watch: Watch, crossing: Crossing) -> str:
+        if watch.threshold is None:
+            return LINK_UP if crossing.inside else LINK_DOWN
+        return QUALITY_ABOVE if crossing.inside else QUALITY_BELOW
+
+    def _schedule_rearm(self, watch: Watch) -> None:
+        horizon_end = self.sim.now + self.solver.horizon_s
+        watch._handle = self.sim.call_at(
+            horizon_end, lambda w=watch: self._rearm(w),
+            name=f"bus-rearm#{watch.watch_id}")
+        self.stats.rescheduled += 1
+
+    def _can_park(self, watch: Watch) -> bool:
+        """True when a crossing-free window means *no crossing, ever*.
+
+        Settled geometry (both mobility models constant forever) parks
+        link watches outright — but a quality watch whose pair carries a
+        time-varying override is not a function of geometry at all: its
+        crossing may simply lie beyond the horizon, so it must keep
+        re-checking.
+        """
+        if watch.threshold is not None and self.world.has_override(
+                watch.node_a, watch.node_b, watch.tech):
+            return False
+        return self.solver.pair_settled(watch.node_a, watch.node_b,
+                                        self.sim.now)
+
+    def _arm(self, watch: Watch) -> None:
+        t0: float | None = None  # None = predict from the current instant
+        for _attempt in range(8):
+            crossing = self._predict(watch, t0)
+            if crossing is None:
+                if self._can_park(watch):
+                    watch._handle = None  # parked: no crossing, ever
+                    return
+                self._schedule_rearm(watch)
+                return
+            kind = self._kind_of(watch, crossing)
+            last = watch.last_fired
+            if (last is not None and kind == last.kind
+                    and crossing.time <= last.time + self._DEDUP_TOL_S):
+                t0 = last.time + self._DEDUP_TOL_S
+                continue
+            if watch.only_kind is not None and kind != watch.only_kind:
+                # Filtered flip (e.g. a LinkUp on a link-down watch):
+                # step past it and keep looking within this arm call.
+                t0 = crossing.time
+                continue
+            event = ConnectivityEvent(
+                crossing.time, kind, watch.node_a, watch.node_b,
+                watch.tech.name, watch.threshold)
+            watch._handle = self.sim.call_at(
+                max(self.sim.now, crossing.time),
+                lambda w=watch, e=event: self._fire(w, e),
+                name=f"bus#{watch.watch_id}:{kind}")
+            self.stats.scheduled += 1
+            return
+        # Degenerate prediction churn: fall back to a horizon re-check.
+        self._schedule_rearm(watch)
+
+    def _rearm(self, watch: Watch) -> None:
+        if watch.active:
+            watch._handle = None
+            self._arm(watch)
+
+    def _fire(self, watch: Watch, event: ConnectivityEvent) -> None:
+        if not watch.active:
+            return
+        watch._handle = None
+        watch.last_fired = event
+        self.stats.fired += 1
+        if watch.once:
+            watch.active = False
+            self._forget(watch)
+            watch.callback(event)
+            return
+        watch.callback(event)
+        if watch.active:
+            self._arm(watch)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def active_watches(self) -> int:
+        """Number of live watches (armed or parked)."""
+        return len(self._watches)

@@ -14,6 +14,14 @@ thesis observed:
   being aware of the connection loss", §6.1);
 * closing a link wakes blocked receivers with :class:`ChannelClosed`.
 
+Event-driven teardown (PR 3): a link no longer waits for the next frame
+to discover that its endpoints drifted apart.  On creation it registers a
+one-shot LinkDown watch on the connectivity bus and *breaks at the
+predicted crossing instant* — an idle link between diverging nodes goes
+down exactly when coverage is lost, waking any blocked receiver then.
+The in-range check at delivery time stays as a guard for frames already
+in flight at the break.
+
 Scaling note: everything here is *pair-local*.  Range and quality checks
 on an established link are O(1) queries against the two endpoints'
 positions — they never enumerate the world, so link maintenance stays
@@ -72,6 +80,10 @@ class Link:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
+        # Scheduled teardown: break at the predicted instant the pair
+        # leaves coverage (dormant for settled in-range pairs).
+        self._down_watch = world.bus.watch_link_down(
+            node_a, node_b, tech, self._scheduled_break)
 
     # ------------------------------------------------------------------
     # state
@@ -161,10 +173,18 @@ class Link:
         """Orderly local close; idempotent."""
         self._break()
 
+    def _scheduled_break(self, _event) -> None:
+        """The bus-predicted LinkDown instant arrived: go down now."""
+        self._break()
+
     def _break(self) -> None:
         if not self._open:
             return
         self._open = False
+        watch = self._down_watch
+        if watch is not None:
+            self._down_watch = None
+            watch.cancel()
         for inbox in self._inboxes.values():
             while inbox.pending_getters:
                 getter = inbox._getters.popleft()

@@ -1,0 +1,329 @@
+"""Analytic crossing-time solver: when does a pair cross a range ring?
+
+Every bundled mobility model is piecewise linear in time (static points,
+constant-velocity legs, scripted waypoints, random-waypoint legs + pauses),
+so the inter-node distance on any common segment is ``|D + V·s|`` for
+constant ``D`` (relative offset) and ``V`` (relative velocity) — and the
+instant it crosses a threshold radius ``R`` solves the quadratic
+
+    (V·V) s² + 2 (D·V) s + (D·D − R²) = 0
+
+in closed form.  That turns link maintenance from "poll every node every
+interval" into "schedule one event at the predicted crossing": the
+discrete-event treatment that lets OMNeT++-style mobility studies scale,
+applied to the PeerHood world.
+
+Three prediction tiers, matching the tentpole spec:
+
+* **closed form** for static/linear pairs (one segment each);
+* **piecewise closed form** over waypoint/walker/random-waypoint segment
+  lists (:meth:`repro.mobility.base.MobilityModel.linear_segments`);
+* **guarded bisection** for models that cannot describe themselves
+  (``linear_segments() is None``) and for arbitrary quality overrides:
+  sample the predicate at a fixed step, then bisect the first flip.
+
+All public entry points answer the same question: *the earliest time
+strictly after* ``t0`` *at which a boolean predicate of the pair flips*,
+reported as a :class:`Crossing`.  ``None`` means "no flip before the
+horizon" — the caller (the connectivity bus) re-arms at the horizon.
+Units: metres, sim-seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.mobility.base import MobilityModel, Point, distance
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.technologies import Technology
+    from repro.radio.world import World
+
+#: How far ahead one prediction looks (sim-seconds).  Beyond it the bus
+#: schedules a re-check — the "segment rollover" bound that keeps lazily
+#: generated random-waypoint legs from being forced arbitrarily far ahead.
+DEFAULT_HORIZON_S = 600.0
+
+#: Sampling step of the guarded-bisection fallback (sim-seconds).  Flips
+#: shorter than this can be missed on models without segment support;
+#: every bundled model has segment support and never takes this path for
+#: geometry (only arbitrary quality overrides do).
+BISECT_STEP_S = 0.25
+
+#: Bisection refinement tolerance (sim-seconds).
+BISECT_TOL_S = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class Crossing:
+    """One predicted predicate flip.
+
+    ``time`` is the crossing instant; ``inside`` is the predicate state
+    *after* it (for a range ring: True = within the radius, so
+    ``inside=True`` is a LinkUp and ``inside=False`` a LinkDown).
+    """
+
+    time: float
+    inside: bool
+
+
+def _dot(a: Point, b: Point) -> float:
+    return a[0] * b[0] + a[1] * b[1]
+
+
+def _relative_pieces(segs_a, segs_b):
+    """Merge two contiguous segment lists into relative-motion pieces.
+
+    Yields ``(u, v, D, V)``: over ``[u, v]`` the offset a−b is
+    ``D + V·(t − u)``.  Both inputs cover the same window, so the merge
+    is a linear two-pointer walk.
+    """
+    i = j = 0
+    while i < len(segs_a) and j < len(segs_b):
+        a_start, a_end, a_pos, a_vel = segs_a[i]
+        b_start, b_end, b_pos, b_vel = segs_b[j]
+        u = max(a_start, b_start)
+        v = min(a_end, b_end)
+        if v > u:
+            ax = a_pos[0] + a_vel[0] * (u - a_start)
+            ay = a_pos[1] + a_vel[1] * (u - a_start)
+            bx = b_pos[0] + b_vel[0] * (u - b_start)
+            by = b_pos[1] + b_vel[1] * (u - b_start)
+            yield (u, v, (ax - bx, ay - by),
+                   (a_vel[0] - b_vel[0], a_vel[1] - b_vel[1]))
+        if a_end <= v:
+            i += 1
+        if b_end <= v:
+            j += 1
+
+
+def _state_at_piece_start(c0: float, b: float, a: float,
+                          eps: float) -> bool:
+    """Inside/outside at a piece start, derivative tie-break on the ring.
+
+    ``c(s) = a s² + b s + c0`` is ``distance² − R²``.  Within ``eps`` of
+    the ring (a crossing was just solved here, or the pair starts
+    exactly on it) the state that matters is where the pair is
+    *heading* — re-solving from a returned root then sees the
+    post-crossing state and progresses instead of re-reporting it.
+    """
+    if c0 < -eps:
+        return True
+    if c0 > eps:
+        return False
+    if b != 0.0:
+        return b < 0.0
+    return a <= 0.0
+
+
+def next_distance_crossing(
+        mobility_a: MobilityModel, mobility_b: MobilityModel,
+        threshold_m: float, t0: float, t1: float) -> Crossing | None:
+    """Earliest flip of ``distance(a, b) <= threshold_m`` in ``(t0, t1]``.
+
+    Closed-form over the pair's merged linear segments; ``None`` when
+    the models provide no segments (caller should use
+    :func:`bisect_predicate_flip` on a sampled predicate) or when no
+    flip occurs before ``t1``.
+    """
+    if threshold_m <= 0:
+        raise ValueError(f"threshold must be positive: {threshold_m}")
+    if t1 <= t0:
+        return None
+    segs_a = mobility_a.linear_segments(t0, t1)
+    segs_b = mobility_b.linear_segments(t0, t1)
+    if segs_a is None or segs_b is None:
+        def predicate(t: float) -> bool:
+            return distance(mobility_a.position(t),
+                            mobility_b.position(t)) <= threshold_m
+        return bisect_predicate_flip(predicate, t0, t1)
+    r_squared = threshold_m * threshold_m
+    on_ring_eps = 1e-9 * max(1.0, r_squared)
+    initial: bool | None = None
+    for u, v, offset, velocity in _relative_pieces(segs_a, segs_b):
+        a = _dot(velocity, velocity)
+        b = 2.0 * _dot(offset, velocity)
+        c0 = _dot(offset, offset) - r_squared
+        state = _state_at_piece_start(c0, b, a, on_ring_eps)
+        if initial is None:
+            initial = state
+        elif state != initial:
+            # The flip fell exactly on a segment boundary (tangential
+            # grazes and on-ring starts land here).
+            return Crossing(u, state)
+        if a == 0.0:
+            continue  # no relative motion on this piece
+        disc = b * b - 4.0 * a * c0
+        if disc <= 0.0:
+            continue  # no crossing, or a tangential touch (no flip)
+        sqrt_disc = math.sqrt(disc)
+        span = v - u
+        for s in ((-b - sqrt_disc) / (2.0 * a),
+                  (-b + sqrt_disc) / (2.0 * a)):
+            if 0.0 < s <= span and u + s > t0:
+                # State after a simple root follows c's slope there:
+                # falling c means the pair is diving inside the ring.
+                # A root whose after-state equals ``initial`` is not a
+                # flip — it is the ring point a re-solve starts on.
+                slope = 2.0 * a * s + b
+                if slope == 0.0:
+                    continue
+                new_state = slope < 0.0
+                if new_state != initial:
+                    return Crossing(u + s, new_state)
+    return None
+
+
+def distance_crossings(
+        mobility_a: MobilityModel, mobility_b: MobilityModel,
+        threshold_m: float, t0: float, t1: float) -> list[Crossing]:
+    """All flips in ``(t0, t1]``, in time order (test/trace helper)."""
+    crossings: list[Crossing] = []
+    cursor = t0
+    while True:
+        crossing = next_distance_crossing(
+            mobility_a, mobility_b, threshold_m, cursor, t1)
+        if crossing is None:
+            return crossings
+        if crossings and crossing.time <= crossings[-1].time:
+            # Degenerate repeat (should not happen); refuse to spin.
+            return crossings
+        crossings.append(crossing)
+        cursor = crossing.time
+
+
+def bisect_predicate_flip(
+        predicate: typing.Callable[[float], bool], t0: float, t1: float,
+        step: float = BISECT_STEP_S,
+        tolerance: float = BISECT_TOL_S) -> Crossing | None:
+    """Guarded bisection: first flip of ``predicate`` in ``(t0, t1]``.
+
+    Samples every ``step`` seconds, then bisects the first flipped
+    bracket down to ``tolerance``.  Returns the *earliest sampled time at
+    which the predicate has already flipped* (so re-arming from the
+    returned time sees the new state and makes progress).  Flips narrower
+    than ``step`` can be missed — hence "guarded": callers reserve this
+    for monotone-ish signals such as the Fig. 5.8 linear quality decay.
+    """
+    if t1 <= t0:
+        return None
+    initial = predicate(t0)
+    lo = t0
+    while lo < t1:
+        hi = min(lo + step, t1)
+        if predicate(hi) != initial:
+            while hi - lo > tolerance:
+                mid = (lo + hi) / 2.0
+                if predicate(mid) != initial:
+                    hi = mid
+                else:
+                    lo = mid
+            return Crossing(hi, not initial)
+        lo = hi
+    return None
+
+
+class ContactSolver:
+    """World-aware prediction of link and quality-threshold crossings.
+
+    One solver per :class:`~repro.radio.world.World`.  ``predictions``
+    counts closed-form solves, ``bisections`` the fallback scans — the
+    benchmarks assert the hot path stays analytic.
+    """
+
+    def __init__(self, world: "World", horizon_s: float = DEFAULT_HORIZON_S):
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive: {horizon_s}")
+        self.world = world
+        self.horizon_s = horizon_s
+        self.predictions = 0
+        self.bisections = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _mobilities(self, a: str,
+                    b: str) -> tuple[MobilityModel, MobilityModel] | None:
+        world = self.world
+        if not (world.has_node(a) and world.has_node(b)):
+            return None
+        return world.node(a).mobility, world.node(b).mobility
+
+    def pair_settled(self, a: str, b: str, after: float) -> bool:
+        """True when neither node will ever move again after ``after``.
+
+        A settled pair's distance is constant forever, so a prediction
+        window with no crossing is *final* — the bus parks the watch
+        instead of re-checking every horizon.
+        """
+        pair = self._mobilities(a, b)
+        if pair is None:
+            return True  # removed nodes never cross anything again
+        for mobility in pair:
+            settled = mobility.settled_after()
+            if settled is None or settled > after:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # link (range-ring) crossings
+    # ------------------------------------------------------------------
+    def next_link_crossing(self, a: str, b: str, tech: "Technology",
+                           t0: float | None = None,
+                           horizon_s: float | None = None
+                           ) -> Crossing | None:
+        """Next flip of ``in range on tech`` for the pair, or ``None``.
+
+        ``Crossing.inside`` True is a LinkUp instant, False a LinkDown.
+        """
+        start = self.world.sim.now if t0 is None else t0
+        end = start + (self.horizon_s if horizon_s is None else horizon_s)
+        pair = self._mobilities(a, b)
+        if pair is None:
+            return None
+        self.predictions += 1
+        return next_distance_crossing(
+            pair[0], pair[1], tech.range_m, start, end)
+
+    # ------------------------------------------------------------------
+    # quality-threshold crossings
+    # ------------------------------------------------------------------
+    def next_quality_crossing(self, a: str, b: str, tech: "Technology",
+                              threshold: int,
+                              t0: float | None = None,
+                              horizon_s: float | None = None
+                              ) -> Crossing | None:
+        """Next flip of ``link_quality(a, b, tech) >= threshold``.
+
+        ``Crossing.inside`` True means quality is at/above the threshold
+        after the instant (QualityAbove), False below (QualityBelow).
+        With a quality override installed the override is an arbitrary
+        callable, so the solver bisects the full quality function of
+        time; pure geometry inverts the threshold to a distance ring via
+        :meth:`~repro.radio.quality.QualityModel.threshold_distance` and
+        reuses the closed-form distance solver.
+        """
+        start = self.world.sim.now if t0 is None else t0
+        end = start + (self.horizon_s if horizon_s is None else horizon_s)
+        world = self.world
+        ring = None
+        if not world.has_override(a, b, tech):
+            ring = world.quality_model.threshold_distance(
+                threshold, tech.range_m)
+        if ring is None:
+            # Arbitrary override function, or a model that cannot invert
+            # itself: scan the quality of time directly.
+            self.bisections += 1
+
+            def predicate(t: float) -> bool:
+                return world.link_quality_at(a, b, tech, t) >= threshold
+            return bisect_predicate_flip(predicate, start, end)
+        if ring <= 0.0:
+            return None  # quality can never reach the threshold: no flips
+        pair = self._mobilities(a, b)
+        if pair is None:
+            return None
+        self.predictions += 1
+        return next_distance_crossing(pair[0], pair[1], ring, start, end)

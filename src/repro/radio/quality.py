@@ -29,6 +29,19 @@ class QualityModel:
         """Link quality at the given distance for a radio of given range."""
         raise NotImplementedError
 
+    def threshold_distance(self, threshold: int,
+                           range_m: float) -> float | None:
+        """The ring beyond which ``quality(d) < threshold`` (inversion).
+
+        Returns ``d*`` such that ``quality(d) >= threshold`` exactly for
+        ``d <= d*`` (monotone models; the half-unit rounding of
+        :func:`clamp_quality` is accounted for), ``0.0`` when the
+        threshold is unreachable anywhere, or ``None`` when the model
+        cannot invert itself — the contact solver then falls back to
+        guarded bisection in time.
+        """
+        return None
+
 
 class PiecewiseLinearQuality(QualityModel):
     """Plateau-then-ramp model matching observed Bluetooth behaviour.
@@ -82,6 +95,24 @@ class PiecewiseLinearQuality(QualityModel):
             QUALITY_MAX - self.edge_quality)
         return plateau_end + ramp * (range_m - plateau_end)
 
+    def threshold_distance(self, threshold: int,
+                           range_m: float) -> float:
+        """Exact inversion for the contact solver (see base class).
+
+        The rounded quality reads ``>= threshold`` while the continuous
+        ramp value is ``>= threshold - 0.5``, so the ring solves the ramp
+        at that half-unit-shifted level; the out-of-range cliff (quality
+        0 past ``range_m``) caps the ring at the coverage radius.
+        """
+        if threshold > QUALITY_MAX:
+            return 0.0
+        continuous = threshold - 0.5
+        if continuous <= self.edge_quality:
+            return range_m
+        plateau_end = self.plateau_fraction * range_m
+        ramp = (QUALITY_MAX - continuous) / (QUALITY_MAX - self.edge_quality)
+        return plateau_end + ramp * (range_m - plateau_end)
+
 
 class PathLossQuality(QualityModel):
     """RSSI-derived quality: log-distance path loss linearly rescaled.
@@ -109,3 +140,23 @@ class PathLossQuality(QualityModel):
         span = self.rssi_ceiling_dbm - self.rssi_floor_dbm
         fraction = (rssi - self.rssi_floor_dbm) / span
         return clamp_quality(QUALITY_MAX * fraction)
+
+    def threshold_distance(self, threshold: int,
+                           range_m: float) -> float | None:
+        """Inversion through the path-loss model, when it supports one.
+
+        Maps the (half-unit-shifted, see base class) quality level back
+        to an RSSI target and asks the path-loss model for the distance
+        receiving it; capped at the coverage radius (quality 0 beyond).
+        """
+        if threshold > QUALITY_MAX:
+            return 0.0
+        inverse = getattr(self.path_loss, "distance_for_rssi", None)
+        if inverse is None:
+            return None
+        span = self.rssi_ceiling_dbm - self.rssi_floor_dbm
+        target_rssi = self.rssi_floor_dbm + (
+            (threshold - 0.5) / QUALITY_MAX) * span
+        if target_rssi > self.path_loss.rssi_dbm(0.0):
+            return 0.0  # stronger than the signal ever gets
+        return max(0.0, min(float(inverse(target_rssi)), range_m))

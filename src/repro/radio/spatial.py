@@ -36,6 +36,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.metrics.counters import BusCounters
 from repro.mobility.base import Point
 
 #: A cell address: integer (column, row) of a ``cell_size`` square.
@@ -58,17 +59,22 @@ class WorldStats:
     grid_refreshes:
         Times a grid re-synced its mobile nodes because the virtual
         clock had advanced since the previous query.
+    bus:
+        Connectivity-event-bus activity (scheduled / fired / cancelled /
+        rescheduled) — see :class:`~repro.metrics.counters.BusCounters`.
     """
 
     distance_checks: int = 0
     neighbor_queries: int = 0
     grid_refreshes: int = 0
+    bus: BusCounters = dataclasses.field(default_factory=BusCounters)
 
     def reset(self) -> None:
         """Zero all counters (call between benchmark rounds)."""
         self.distance_checks = 0
         self.neighbor_queries = 0
         self.grid_refreshes = 0
+        self.bus.reset()
 
 
 class SpatialGrid:

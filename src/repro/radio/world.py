@@ -26,6 +26,8 @@ from __future__ import annotations
 import typing
 
 from repro.mobility.base import MobilityModel, Point, distance
+from repro.radio.bus import ConnectivityBus
+from repro.radio.contacts import ContactSolver
 from repro.radio.quality import PiecewiseLinearQuality, QualityModel
 from repro.radio.spatial import SpatialGrid, WorldStats
 from repro.radio.technologies import Technology, get_technology
@@ -69,14 +71,22 @@ class World:
         self._overrides: dict[tuple[str, str, str], QualityOverride] = {}
         self._inquiring: set[tuple[str, str]] = set()
         # Toggle log per (node, tech): (time, became_inquiring) pairs, used
-        # by the interval-overlap discoverability query.  Pruned lazily.
+        # by the interval-overlap discoverability query.  Pruned explicitly
+        # on clock advance (see _maybe_prune_history) and on remove_node.
         self._inquiry_history: dict[
             tuple[str, str], list[tuple[float, bool]]] = {}
         # One spatial grid per technology name, built lazily on the first
         # neighbor query for that technology and synced to ``_grid_synced``.
         self._grids: dict[str, SpatialGrid] = {}
         self._grid_synced: dict[str, float] = {}
+        self._last_history_prune = sim.now
         self.stats = WorldStats()
+        #: Crossing-time solver and connectivity-event bus (PR 3): link
+        #: and quality-threshold changes are *predicted and scheduled*
+        #: instead of polled.  See :mod:`repro.radio.contacts` /
+        #: :mod:`repro.radio.bus`.
+        self.contacts = ContactSolver(self)
+        self.bus = ConnectivityBus(self, solver=self.contacts)
 
     # ------------------------------------------------------------------
     # node management
@@ -110,10 +120,12 @@ class World:
         """Remove a node (power-off), evicting *all* state that names it.
 
         Spatial-grid entries, quality overrides referencing the node (on
-        either side of the pair), inquiry marks and the inquiry toggle log
-        are all dropped, so a node re-added later under the same id starts
-        physically fresh.  O(G + overrides).  Raises ``KeyError`` if the
-        node is unknown.
+        either side of the pair), inquiry marks, the inquiry toggle log
+        and every pending connectivity-bus watch naming the node are all
+        dropped, so a node re-added later under the same id starts
+        physically fresh and no scheduled contact event for the dead node
+        can ever fire.  O(G + overrides + watches).  Raises ``KeyError``
+        if the node is unknown.
         """
         self._node(node_id)  # raise if unknown
         del self._nodes[node_id]
@@ -128,6 +140,7 @@ class World:
         self._inquiry_history = {
             key: history for key, history in self._inquiry_history.items()
             if key[0] != node_id}
+        self.bus.cancel_node(node_id)
 
     def node_ids(self) -> list[str]:
         """All registered node ids, sorted for determinism.  O(N log N)."""
@@ -212,6 +225,7 @@ class World:
             for node_id in grid.mobile_ids():
                 grid.move(node_id, nodes[node_id].mobility.position(now))
             self._grid_synced[tech.name] = now
+            self._maybe_prune_history()
         return grid
 
     def neighbors(self, node_id: str, tech: Technology) -> list[str]:
@@ -287,6 +301,9 @@ class World:
             self._overrides.pop(key, None)
         else:
             self._overrides[key] = override
+        # Outstanding connectivity predictions for the pair were computed
+        # against the old quality function; re-predict them.
+        self.bus.invalidate_pair(a, b, tech)
 
     def install_linear_decay(self, a: str, b: str, tech: Technology,
                              initial_quality: int,
@@ -306,20 +323,42 @@ class World:
 
         self.set_quality_override(a, b, tech, decayed)
 
+    def has_override(self, a: str, b: str, tech: Technology) -> bool:
+        """True if an artificial quality function is installed.  O(1)."""
+        return self._override_key(a, b, tech) in self._overrides
+
     def link_quality(self, a: str, b: str, tech: Technology) -> int:
         """Current link quality (0–255); 0 when out of range or no radio.
 
         A pair query — O(1): override lookup, then the physical model on
         the pair distance.
         """
+        return self.link_quality_at(a, b, tech, self.sim.now)
+
+    def link_quality_at(self, a: str, b: str, tech: Technology,
+                        t: float) -> int:
+        """Link quality the pair would report at virtual time ``t``.
+
+        Positions are pure functions of time, so quality is too — this
+        is what lets the contact solver *predict* threshold crossings.
+        Evaluates mobility directly (never the spatial grids, which are
+        synced to ``sim.now``).  Same semantics as :meth:`link_quality`:
+        overrides first, 0 out of range or for unknown/radio-less nodes.
+        """
         override = self._overrides.get(self._override_key(a, b, tech))
         if override is not None:
-            value = override(self.sim.now)
+            value = override(t)
             if value is not None:
                 return max(0, min(255, int(value)))
-        if not self.in_range(a, b, tech):
+        if a == b or a not in self._nodes or b not in self._nodes:
             return 0
-        return self.quality_model.quality(self.distance(a, b), tech.range_m)
+        if not (self.supports(a, tech) and self.supports(b, tech)):
+            return 0
+        gap = distance(self._nodes[a].mobility.position(t),
+                       self._nodes[b].mobility.position(t))
+        if gap > tech.range_m:
+            return 0
+        return self.quality_model.quality(gap, tech.range_m)
 
     # ------------------------------------------------------------------
     # discovery support
@@ -332,8 +371,8 @@ class World:
                        inquiring: bool) -> None:
         """Record that a node is running a discovery scan on ``tech``.
 
-        O(1) amortised (the toggle log is pruned lazily).  Idempotent for
-        repeated marks in the same state.
+        O(1) amortised (toggle logs are pruned once per horizon of clock
+        advance).  Idempotent for repeated marks in the same state.
         """
         key = (node_id, tech.name)
         already = key in self._inquiring
@@ -345,10 +384,39 @@ class World:
             self._inquiring.discard(key)
         history = self._inquiry_history.setdefault(key, [])
         history.append((self.sim.now, inquiring))
-        if len(history) > 16:
-            cutoff = self.sim.now - self._HISTORY_HORIZON_S
-            while len(history) > 2 and history[1][0] < cutoff:
+        self._maybe_prune_history()
+
+    def _maybe_prune_history(self) -> None:
+        """Prune the toggle logs once per horizon of clock advance.
+
+        The seed pruned *lazily* — only the marked node's own log, only
+        when it exceeded a length watermark — so a node that stopped
+        toggling (or kept toggling below the watermark) carried stale
+        entries forever.  This hook runs from the clock-advance
+        observation points (grid refresh, new toggle marks) and trims
+        every log explicitly.
+        """
+        now = self.sim.now
+        if now - self._last_history_prune >= self._HISTORY_HORIZON_S:
+            self.prune_inquiry_history()
+
+    def prune_inquiry_history(self) -> int:
+        """Drop toggle-log entries older than the horizon; returns count.
+
+        The newest entry at or before the cutoff is kept as the state
+        anchor (``max_discoverable_gap`` derives the state at a window
+        start from the last preceding toggle), so pruning never changes
+        any discoverability answer about the kept horizon.  O(total log
+        length).
+        """
+        cutoff = self.sim.now - self._HISTORY_HORIZON_S
+        dropped = 0
+        for history in self._inquiry_history.values():
+            while len(history) > 1 and history[1][0] <= cutoff:
                 history.pop(0)
+                dropped += 1
+        self._last_history_prune = self.sim.now
+        return dropped
 
     def is_inquiring(self, node_id: str, tech: Technology) -> bool:
         """True while the node is scanning on ``tech``.  O(1)."""
@@ -372,7 +440,7 @@ class World:
         """Longest contiguous non-inquiring stretch inside the window.
 
         Window bounds and the returned gap are sim-seconds; O(H) in the
-        (pruned, ≤16-entry) toggle-log length.  For technologies that stay
+        (horizon-pruned) toggle-log length.  For technologies that stay
         discoverable while scanning this is the whole window.  For
         Bluetooth it walks the inquiry toggle log: a peer can only answer
         our inquiry during its own idle gaps, and the inquiry protocol

@@ -7,7 +7,9 @@ thesis' figures (3.3, 3.6, 3.9, 4.5, 5.8, 6.1) plus generic lines, grids
 and random discs for sweeps.  :mod:`~repro.scenarios.large_scale` adds
 the production-scale family (dense plaza, sparse highway, flash-crowd
 churn) that stresses the spatial-grid discovery path at hundreds of
-nodes.
+nodes.  :mod:`~repro.scenarios.traces` records the connectivity-event
+stream as a JSONL contact trace and replays it as a mobility-free
+workload (:func:`replay_arena` is its registered arena scenario).
 """
 
 from repro.scenarios.builder import Scenario
@@ -15,6 +17,15 @@ from repro.scenarios.large_scale import (
     dense_plaza,
     flash_crowd,
     sparse_highway,
+)
+from repro.scenarios.traces import (
+    ContactTraceRecorder,
+    load_trace,
+    record_contact_trace,
+    replay_arena,
+    replay_trace,
+    trace_digest,
+    write_trace,
 )
 from repro.scenarios.topologies import (
     fig_3_3_coverage_exclusion,
@@ -27,6 +38,9 @@ from repro.scenarios.topologies import (
     tunnel_topology,
 )
 
+# ``__all__`` lists exactly the scenario factories (plus Scenario): the
+# experiments registry test asserts every name here is registered.  The
+# trace record/replay helpers above are importable but are not factories.
 __all__ = [
     "Scenario",
     "dense_plaza",
@@ -38,6 +52,7 @@ __all__ = [
     "flash_crowd",
     "line_topology",
     "random_disc",
+    "replay_arena",
     "sparse_highway",
     "tunnel_topology",
 ]

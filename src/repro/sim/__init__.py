@@ -30,7 +30,7 @@ from repro.sim.events import (
     SimulationError,
     Timeout,
 )
-from repro.sim.kernel import Simulator, StopSimulation
+from repro.sim.kernel import ScheduledCall, Simulator, StopSimulation
 from repro.sim.process import Process
 from repro.sim.resources import Lock, Resource, Store
 from repro.sim.rng import RandomStream
@@ -45,6 +45,7 @@ __all__ = [
     "Process",
     "RandomStream",
     "Resource",
+    "ScheduledCall",
     "SimulationError",
     "Simulator",
     "StopSimulation",

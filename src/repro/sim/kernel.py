@@ -20,6 +20,36 @@ class StopSimulation(Exception):
     """Raised internally to abort :meth:`Simulator.run` early."""
 
 
+class ScheduledCall:
+    """Cancellable handle returned by :meth:`Simulator.call_at`.
+
+    The underlying heap entry cannot be removed (binary heaps have no
+    efficient delete), so cancellation nulls the callback and the event
+    fires as a no-op.  ``cancel()`` is idempotent.
+    """
+
+    __slots__ = ("when", "_callback")
+
+    def __init__(self, when: float,
+                 callback: typing.Callable[[], None]):
+        self.when = when
+        self._callback = callback
+
+    @property
+    def cancelled(self) -> bool:
+        return self._callback is None
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._callback = None
+
+    def _fire(self, _event: Event) -> None:
+        callback = self._callback
+        if callback is not None:
+            self._callback = None
+            callback()
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -41,6 +71,9 @@ class Simulator:
         self._streams: dict[str, RandomStream] = {}
         self._active_process: Process | None = None
         self._stopped = False
+        #: Events popped and run by :meth:`step` — the kernel-wakeup
+        #: figure the event-driven connectivity benchmarks compare.
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # clock & scheduling
@@ -79,6 +112,26 @@ class Simulator:
         """Wait for all of ``events``."""
         return AllOf(self, events)
 
+    def call_at(self, when: float, callback: typing.Callable[[], None],
+                name: str = "call-at") -> ScheduledCall:
+        """Schedule a bare callback at absolute virtual time ``when``.
+
+        The connectivity bus uses this to turn predicted link/quality
+        crossings into kernel events.  Returns a :class:`ScheduledCall`
+        whose ``cancel()`` voids the callback (the heap entry stays and
+        fires as a no-op — O(1) cancellation).  ``when`` may equal the
+        current time; scheduling in the past raises.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})")
+        handle = ScheduledCall(when, callback)
+        event = Event(self, name)
+        event.callbacks.append(handle._fire)
+        event._triggered = True
+        self._schedule(event, delay=when - self._now)
+        return handle
+
     def spawn(self, generator: typing.Generator, name: str = "") -> Process:
         """Start a new process running ``generator``."""
         return Process(self, generator, name=name)
@@ -113,6 +166,7 @@ class Simulator:
             raise SimulationError(
                 f"time went backwards: {when} < {self._now}")
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None

@@ -284,3 +284,83 @@ def test_world_remove_node():
     assert not world.has_node("b")
     with pytest.raises(KeyError):
         world.remove_node("b")
+
+
+# ----------------------------------------------------------------------
+# inquiry-mark pruning (explicit on clock advance and on remove_node)
+# ----------------------------------------------------------------------
+def test_stale_marks_never_resurrect_a_removed_node():
+    """Remove a node mid-inquiry, re-add the id: physically fresh."""
+    sim, world = make_world()
+    world.add_node("a", StaticPosition(0, 0), [BLUETOOTH])
+    world.add_node("b", StaticPosition(5, 0), [BLUETOOTH])
+    # b toggles through some scans, then dies while inquiring.
+    for start in (0.0, 30.0, 60.0):
+        sim.run(until=start)
+        world.mark_inquiring("b", BLUETOOTH, True)
+        sim.run(until=start + 10.0)
+        world.mark_inquiring("b", BLUETOOTH, False)
+    sim.run(until=90.0)
+    world.mark_inquiring("b", BLUETOOTH, True)
+    world.remove_node("b")
+    assert world.neighbors("a", BLUETOOTH) == []
+    assert world.discoverable_neighbors("a", BLUETOOTH) == []
+    # Same id powers back on: no stale toggle state may survive.
+    world.add_node("b", StaticPosition(5, 0), [BLUETOOTH])
+    assert not world.is_inquiring("b", BLUETOOTH)
+    assert world.is_discoverable("b", BLUETOOTH)
+    # The old log is gone: the whole window counts as discoverable even
+    # though the "old b" was mid-inquiry over part of it.
+    assert world.max_discoverable_gap(
+        "b", BLUETOOTH, 85.0, 95.0) == pytest.approx(10.0)
+    assert world.heard_during_scan("b", BLUETOOTH, 85.0, 95.0)
+
+
+def test_toggle_log_pruned_explicitly_on_clock_advance():
+    sim, world = make_world()
+    world.add_node("a", StaticPosition(0, 0), [BLUETOOTH])
+    world.add_node("b", StaticPosition(5, 0), [BLUETOOTH])
+    # Sparse toggles: the seed's length-triggered lazy prune (watermark
+    # 16) would never fire, carrying entries forever.
+    for index in range(6):
+        sim.run(until=index * 50.0)
+        world.mark_inquiring("b", BLUETOOTH, True)
+        sim.run(until=index * 50.0 + 10.0)
+        world.mark_inquiring("b", BLUETOOTH, False)
+    history = world._inquiry_history[("b", BLUETOOTH.name)]
+    # The prune runs once per horizon of clock advance, so nothing older
+    # than two horizons survives (bar the single state anchor).
+    cutoff = sim.now - 2 * World._HISTORY_HORIZON_S
+    assert sum(1 for when, _ in history if when <= cutoff) <= 1
+    # An explicit prune tightens to one horizon exactly.
+    world.prune_inquiry_history()
+    tight = sim.now - World._HISTORY_HORIZON_S
+    assert sum(1 for when, _ in history if when <= tight) <= 1
+    # Pruning preserved the current answers.
+    assert not world.is_inquiring("b", BLUETOOTH)
+    assert world.heard_during_scan("b", BLUETOOTH, sim.now - 20.0, sim.now)
+
+
+def test_prune_keeps_state_anchor_for_window_queries():
+    sim, world = make_world()
+    world.add_node("b", StaticPosition(5, 0), [BLUETOOTH])
+    world.mark_inquiring("b", BLUETOOTH, True)   # at t=0, never cleared
+    sim.run(until=500.0)
+    assert world.prune_inquiry_history() == 0    # anchor must survive
+    # 500 s later the node is still known to be mid-inquiry.
+    assert world.is_inquiring("b", BLUETOOTH)
+    assert world.max_discoverable_gap(
+        "b", BLUETOOTH, 490.0, 500.0) == 0.0
+
+
+def test_grid_refresh_triggers_history_prune():
+    sim, world = make_world()
+    world.add_node("a", StaticPosition(0, 0), [BLUETOOTH])
+    world.add_node("b", LinearMovement((5.0, 0.0), (0.01, 0.0)), [BLUETOOTH])
+    world.mark_inquiring("b", BLUETOOTH, True)
+    world.mark_inquiring("b", BLUETOOTH, False)
+    world.neighbors("a", BLUETOOTH)   # builds the grid
+    sim.run(until=400.0)
+    world.neighbors("a", BLUETOOTH)   # clock advanced: refresh + prune
+    history = world._inquiry_history[("b", BLUETOOTH.name)]
+    assert len(history) == 1          # both toggles aged out; anchor kept
