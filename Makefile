@@ -5,8 +5,11 @@
 #   make bench        every paper-reproduction + scale benchmark
 #   make bench-scale  just the spatial-grid scale benchmark (fast)
 #   make bench-events just the event-driven handover benchmark (fast)
+#   make bench-dtn    just the DTN delivery/wakeup benchmark
 #   make sweep        run the demo_sweep experiment campaign (4 workers)
+#   make dtn-sweep    run the DTN routing-baseline campaign (4 workers)
 #   make lint         byte-compile every source tree (syntax/tab check)
+#   make docs-check   verify intra-repo links in README + docs/*.md
 #   make quickstart   run the two-device example end to end
 
 PYTHON ?= python
@@ -14,7 +17,8 @@ export PYTHONPATH := src
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test bench bench-scale bench-events sweep lint quickstart
+.PHONY: test bench bench-scale bench-events bench-dtn sweep dtn-sweep \
+        lint docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,17 +35,33 @@ bench-scale:
 bench-events:
 	$(PYTHON) -m pytest benchmarks/bench_event_handover.py -q -s
 
+# DTN routing baselines + forwarder wakeups (writes
+# BENCH_dtn_delivery.json).  BENCH_DTN_N overrides the N=500 island
+# world (the CI bench-smoke job runs it small).
+bench-dtn:
+	$(PYTHON) -m pytest benchmarks/bench_dtn_delivery.py -q -s
+
 # The reference experiment campaign: 24 runs (2 scenarios x 2 node
 # counts x 2 radio mixes x 3 repeats) -> results/demo_sweep/.  Output
 # is byte-identical at any --workers value.
 sweep:
 	$(PYTHON) -m repro.experiments run demo_sweep --workers 4
 
+# The DTN campaign: every routing baseline paired per run on the
+# store-carry-forward scenario family -> results/dtn_sweep/.
+dtn-sweep:
+	$(PYTHON) -m repro.experiments run dtn_sweep --workers 4
+
 # The container bakes in no external linter (flake8/ruff); compileall +
 # tabnanny catch syntax errors and indentation mixups without new deps.
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
-	$(PYTHON) -m tabnanny src tests benchmarks examples
+	$(PYTHON) -m compileall -q src tests benchmarks examples tools
+	$(PYTHON) -m tabnanny src tests benchmarks examples tools
+
+# Intra-repo Markdown link check (README, CHANGES, ROADMAP, docs/*.md);
+# external URLs are ignored so CI never flakes on the network.
+docs-check:
+	$(PYTHON) tools/check_links.py
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

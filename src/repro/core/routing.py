@@ -84,11 +84,18 @@ def is_better_route(candidate: RouteMetrics, incumbent: RouteMetrics,
     both avoids churn and matches the activity diagram (replacement only on
     the explicit "<"/">" branches).
     """
-    return _rank(candidate, policy) < _rank(incumbent, policy)
+    return route_rank(candidate, policy) < route_rank(incumbent, policy)
 
 
-def _rank(metrics: RouteMetrics, policy: RoutingPolicy) -> tuple:
-    """Sort key: lexicographically smaller is better."""
+def route_rank(metrics: RouteMetrics, policy: RoutingPolicy) -> tuple:
+    """The Fig. 3.13 ordering as a public sort key (smaller is better).
+
+    Exposed so other planes can rank many candidates in one ``sorted``
+    pass instead of pairwise :func:`is_better_route` calls — the DTN
+    forwarder (:mod:`repro.dtn.routing`) orders its per-contact
+    transmission queue with the same lexicographic-policy pattern.
+    O(1); the tuple is safe to cache per metrics/policy pair.
+    """
     jump_key = metrics.jump
     mobility_key = int(metrics.first_hop_mobility) if policy.use_mobility else 0
     if policy.use_quality_threshold:

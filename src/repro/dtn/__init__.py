@@ -1,0 +1,63 @@
+"""The store-carry-forward data plane over the connectivity bus.
+
+PR 3 made pairwise connectivity an *event stream* — every LinkUp /
+LinkDown instant is predicted analytically and scheduled on the kernel.
+This package is the message layer that exploits it: application bundles
+are **stored** by a custodian, **carried** through disconnection, and
+**forwarded** whenever a predicted contact makes progress possible —
+delivery survives the link instead of dying with it.
+
+Modules (mechanics / policy split):
+
+* :mod:`~repro.dtn.bundle` — the immutable message unit;
+* :mod:`~repro.dtn.store` — per-node custody over the repo's shared
+  :class:`~repro.core.buffering.BoundedBuffer` (TTL + capacity
+  eviction, summary vectors);
+* :mod:`~repro.dtn.routing` — the baselines: direct-delivery, epidemic
+  (summary-vector dedup), binary spray-and-wait;
+* :mod:`~repro.dtn.forwarder` — the event-driven forwarder
+  (:class:`DtnOverlay`, wakes only at scheduled contact events) and the
+  1 s polling oracle (:class:`PollingDtnOverlay`) it is benchmarked
+  against;
+* :mod:`~repro.dtn.traffic` — deterministic injection schedules for the
+  experiment workloads.
+
+See docs/ARCHITECTURE.md ("Data plane (DTN)") for the event-flow
+diagram, the baseline comparison table and the plane's invariants.
+"""
+
+from repro.dtn.bundle import Bundle
+from repro.dtn.forwarder import (
+    DeliveryRecord,
+    DtnOverlay,
+    DtnPlane,
+    PollingDtnOverlay,
+)
+from repro.dtn.routing import (
+    DirectDelivery,
+    Epidemic,
+    Router,
+    SprayAndWait,
+    make_router,
+    transmission_order,
+)
+from repro.dtn.store import MessageStore
+from repro.dtn.traffic import Injection, generate_traffic, schedule_traffic
+
+__all__ = [
+    "Bundle",
+    "DeliveryRecord",
+    "DirectDelivery",
+    "DtnOverlay",
+    "DtnPlane",
+    "Epidemic",
+    "Injection",
+    "MessageStore",
+    "PollingDtnOverlay",
+    "Router",
+    "SprayAndWait",
+    "generate_traffic",
+    "make_router",
+    "schedule_traffic",
+    "transmission_order",
+]

@@ -1,0 +1,432 @@
+"""The store-carry-forward forwarder: custody exchange at contact events.
+
+The plane's mechanics live here, policy-free (routers supply policy,
+:mod:`repro.dtn.routing`).  Three classes:
+
+* :class:`DtnPlane` — stores, bundle injection, the contact-synchronous
+  exchange cascade, delivery bookkeeping.  Knows nothing about *how*
+  contacts are detected.
+* :class:`DtnOverlay` — the event-driven forwarder (the tentpole): one
+  repeating link watch per node pair on the connectivity bus
+  (:mod:`repro.radio.bus`), so the forwarder wakes **only** at
+  predicted LinkUp/LinkDown instants.  ``wakeups`` counts exactly those
+  callback firings — the invariant *no forwarder wakeup without a
+  scheduled contact event* is checkable as
+  ``overlay.wakeups <= world.stats.bus.fired``.
+* :class:`PollingDtnOverlay` — the 1 s polling oracle kept as the test
+  and benchmark baseline: a process ticks every ``poll_interval_s``,
+  re-derives the adjacency of every node from the spatial grid and
+  diffs it.  Each tick wakes every node's forwarder, so ``wakeups``
+  grows as ``N × duration / interval`` — the figure the event-driven
+  overlay beats ≥ 5× in ``benchmarks/bench_dtn_delivery.py``.
+
+Exchange semantics (both implementations share them):
+
+1. On contact-up (and on every injection), the two stores drop expired
+   bundles (lazy TTL — no timers), trade summary vectors
+   (``dtn-control`` traffic on the shared meter) and the router picks
+   what to transmit (``dtn-data``).
+2. Transfers *cascade*: a node whose store grew immediately re-offers
+   to its other current contacts, so a connected cluster equilibrates
+   within the contact instant (the infinite-contact-bandwidth baseline
+   assumption; documented in docs/ARCHITECTURE.md).
+3. Delivery to the destination releases the transmitting custodian's
+   copy and records one :class:`DeliveryRecord` per bundle (first copy
+   wins; summary vectors stop later copies).
+
+Churn: a node that is ``power_off()``/``remove_node()``-ed mid-carry
+loses its buffered bundles (``DtnCounters.dropped_dead``) and leaves
+every adjacency — the bus cancels its watches (no contact event for a
+dead node ever fires), the overlay's ``on_cancel`` hook notices and
+retires the node, and the plane refuses new sends naming it.  A bundle
+*destined* to a dead node is never delivered; it ages out by TTL.
+
+Units: metres / sim-seconds / bytes throughout.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.core.buffering import EVICT_OLDEST
+from repro.dtn.bundle import (
+    DEFAULT_SIZE_BYTES,
+    DEFAULT_TTL_S,
+    Bundle,
+)
+from repro.dtn.routing import Router
+from repro.dtn.store import MessageStore
+from repro.metrics.counters import DtnCounters, TrafficMeter
+from repro.radio.bus import LINK_UP, ConnectivityEvent
+from repro.radio.technologies import Technology, get_technology
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.world import World
+
+#: Bytes charged per bundle id in a summary-vector exchange.
+SUMMARY_VECTOR_ID_BYTES = 8
+
+#: Guard against accidentally installing O(N²) watches at absurd N.
+DEFAULT_MAX_PAIRS = 200_000
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryRecord:
+    """One bundle's arrival at its destination."""
+
+    bundle_id: str
+    source: str
+    destination: str
+    custodian: str           #: the node that handed the copy over
+    created_at: float
+    delivered_at: float
+
+    @property
+    def latency_s(self) -> float:
+        """Creation-to-delivery delay, sim-seconds."""
+        return self.delivered_at - self.created_at
+
+
+class DtnPlane:
+    """Stores + exchange mechanics over a set of world nodes.
+
+    ``nodes`` defaults to every world node carrying ``tech``, sorted.
+    One :class:`~repro.metrics.counters.DtnCounters` instance is shared
+    by all stores; byte volume rides ``meter`` (``dtn-data`` /
+    ``dtn-control`` categories) when one is supplied.
+    """
+
+    def __init__(self, world: "World", router: Router,
+                 tech: Technology | str = "bluetooth",
+                 nodes: typing.Sequence[str] | None = None,
+                 capacity_bytes: int | None = None,
+                 policy: str = EVICT_OLDEST,
+                 meter: TrafficMeter | None = None):
+        self.world = world
+        self.sim = world.sim
+        self.router = router
+        self.tech = get_technology(tech) if isinstance(tech, str) else tech
+        if nodes is None:
+            nodes = [n for n in world.node_ids()
+                     if self.tech.name in world.node(n).technologies]
+        self.counters = DtnCounters()
+        self.meter = meter
+        self.stores: dict[str, MessageStore] = {
+            name: MessageStore(name, capacity_bytes=capacity_bytes,
+                               policy=policy, counters=self.counters)
+            for name in sorted(nodes)}
+        self.delivered: dict[str, DeliveryRecord] = {}
+        #: Contact-event callback firings (see class docstrings).
+        self.wakeups = 0
+        self._adjacent: dict[str, set[str]] = {
+            name: set() for name in self.stores}
+        self._dead: set[str] = set()
+        self._sequences: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def send(self, source: str, destination: str,
+             size_bytes: int = DEFAULT_SIZE_BYTES,
+             ttl_s: float = DEFAULT_TTL_S) -> Bundle:
+        """Inject one bundle at ``source`` addressed to ``destination``.
+
+        The source takes custody immediately and the exchange cascade
+        runs at once, so a destination already in contact receives the
+        bundle in the same instant.  Raises ``KeyError`` for nodes the
+        plane does not manage and ``ValueError`` for dead (powered-off)
+        endpoints — sending *to* the dead is refused at the edge; a
+        node that dies *later* simply never receives (TTL reaps the
+        copies).
+        """
+        for name in (source, destination):
+            if name not in self.stores:
+                raise KeyError(f"node {name!r} is not on the DTN plane")
+            if name in self._dead:
+                raise ValueError(
+                    f"node {name!r} was removed from the world; "
+                    f"bundles cannot originate at or target it")
+        sequence = self._sequences.get(source, 0) + 1
+        self._sequences[source] = sequence
+        copies = getattr(self.router, "initial_copies", 1)
+        bundle = Bundle(bundle_id=f"{source}#{sequence}", source=source,
+                        destination=destination, created_at=self.sim.now,
+                        ttl_s=ttl_s, size_bytes=size_bytes, copies=copies)
+        self.counters.created += 1
+        self.stores[source].add(bundle, self.sim.now)
+        self._cascade_from(source)
+        return bundle
+
+    # ------------------------------------------------------------------
+    # contact bookkeeping (shared by both detection strategies)
+    # ------------------------------------------------------------------
+    def contact_up(self, a: str, b: str) -> None:
+        """A contact opened: record adjacency and equilibrate."""
+        if a in self._dead or b in self._dead:
+            return
+        if a not in self.stores or b not in self.stores:
+            return
+        self._adjacent[a].add(b)
+        self._adjacent[b].add(a)
+        self._charge_summary_vectors(a, b)
+        self._exchange(a, b)
+        self._exchange(b, a)
+        self._cascade_from(a)
+        self._cascade_from(b)
+
+    def contact_down(self, a: str, b: str) -> None:
+        """A contact closed: forget the adjacency.  O(1)."""
+        self._adjacent.get(a, set()).discard(b)
+        self._adjacent.get(b, set()).discard(a)
+
+    def contacts(self, node_id: str) -> list[str]:
+        """Current contacts of ``node_id``, sorted."""
+        return sorted(self._adjacent.get(node_id, ()))
+
+    def _charge_summary_vectors(self, a: str, b: str) -> None:
+        """Meter each side announcing its own summary vector.  O(seen)."""
+        if self.meter is None:
+            return
+        for node in (a, b):
+            self.meter.count(
+                node, "dtn-control",
+                SUMMARY_VECTOR_ID_BYTES
+                * len(self.stores[node].summary_vector()))
+
+    def _exchange(self, carrier: str, peer: str) -> bool:
+        """One-directional offer pass; True if the peer's store grew."""
+        now = self.sim.now
+        carrier_store = self.stores[carrier]
+        peer_store = self.stores[peer]
+        carrier_store.expire(now)
+        peer_store.expire(now)
+        grew = False
+        for bundle in self.router.offers(
+                carrier_store, peer, peer_store.summary_vector()):
+            if peer_store.has_seen(bundle.bundle_id):
+                self.counters.duplicates += 1
+                continue
+            self.counters.transmissions += 1
+            if self.meter is not None:
+                self.meter.count(carrier, "dtn-data", bundle.size_bytes)
+            peer_copy = self.router.after_transmit(
+                carrier_store, bundle, peer, now)
+            if bundle.destination == peer:
+                self._deliver(bundle, carrier, peer)
+            elif peer_store.add(peer_copy, now):
+                grew = True
+        return grew
+
+    def _deliver(self, bundle: Bundle, custodian: str,
+                 destination: str) -> None:
+        self.stores[destination].mark_seen(bundle.bundle_id)
+        if bundle.bundle_id in self.delivered:
+            return   # a later copy slipped through: first arrival wins
+        self.counters.delivered += 1
+        self.delivered[bundle.bundle_id] = DeliveryRecord(
+            bundle_id=bundle.bundle_id, source=bundle.source,
+            destination=destination, custodian=custodian,
+            created_at=bundle.created_at, delivered_at=self.sim.now)
+
+    def _cascade_from(self, origin: str) -> None:
+        """Re-offer outward from ``origin`` until the cluster settles.
+
+        FIFO over nodes whose store changed, contacts visited in sorted
+        order — deterministic, and monotone in the union of seen sets,
+        so it terminates.  The cluster-wide equilibrium models contacts
+        whose duration dwarfs the transmission time of the buffered
+        bundles (the baseline assumption; see module docstring).
+        """
+        queue: collections.deque[str] = collections.deque([origin])
+        while queue:
+            node = queue.popleft()
+            if node in self._dead:
+                continue
+            for peer in sorted(self._adjacent.get(node, ())):
+                if peer in self._dead:
+                    continue
+                if self._exchange(node, peer):
+                    queue.append(peer)
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+    def retire_node(self, node_id: str) -> None:
+        """The node left the world: drop custody, leave every contact.
+
+        Idempotent.  Buffered bundles are counted ``dropped_dead``; the
+        node's delivery history stays (what arrived, arrived).
+        """
+        if node_id in self._dead or node_id not in self.stores:
+            return
+        self._dead.add(node_id)
+        self.stores[node_id].drop_all()
+        for peer in list(self._adjacent.get(node_id, ())):
+            self.contact_down(node_id, peer)
+
+    def live_nodes(self) -> list[str]:
+        """Plane nodes not yet retired, sorted."""
+        return [n for n in self.stores if n not in self._dead]
+
+    def retired(self, node_id: str) -> bool:
+        """True once the node left the world (power-off churn).  O(1)."""
+        return node_id in self._dead
+
+    # ------------------------------------------------------------------
+    # result views
+    # ------------------------------------------------------------------
+    def delivery_ratio(self) -> float:
+        """Delivered / created (1.0 for an idle plane)."""
+        if self.counters.created == 0:
+            return 1.0
+        return self.counters.delivered / self.counters.created
+
+    def latencies(self) -> list[float]:
+        """Delivery latencies in delivery order, sim-seconds."""
+        return [record.latency_s for record in self.delivered.values()]
+
+    def overhead_ratio(self) -> float:
+        """Transmissions per delivery (the classic DTN overhead figure)."""
+        return self.counters.transmissions / max(1, self.counters.delivered)
+
+
+class DtnOverlay(DtnPlane):
+    """Event-driven contact detection: one bus watch per node pair.
+
+    Pairs already in range at attach time get a synthetic contact-up
+    (mirroring the contact-trace recorder's opening edge), because a
+    settled in-range pair never produces a LinkUp event.  ``detach()``
+    cancels the watches; the ``on_cancel`` hook distinguishes that
+    teardown from the bus cancelling a dead node's watches.
+    """
+
+    def __init__(self, world: "World", router: Router,
+                 tech: Technology | str = "bluetooth",
+                 nodes: typing.Sequence[str] | None = None,
+                 capacity_bytes: int | None = None,
+                 policy: str = EVICT_OLDEST,
+                 meter: TrafficMeter | None = None,
+                 max_pairs: int = DEFAULT_MAX_PAIRS):
+        super().__init__(world, router, tech=tech, nodes=nodes,
+                         capacity_bytes=capacity_bytes, policy=policy,
+                         meter=meter)
+        names = list(self.stores)
+        pair_count = len(names) * (len(names) - 1) // 2
+        if pair_count > max_pairs:
+            raise ValueError(
+                f"{pair_count} pairs exceed max_pairs={max_pairs}")
+        self._detached = False
+        self._watches = []
+        seed_pairs = []
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                if world.in_range(first, second, self.tech):
+                    seed_pairs.append((first, second))
+                self._watches.append(world.bus.watch_link(
+                    first, second, self.tech,
+                    callback=self._on_event,
+                    on_cancel=lambda a=first, b=second:
+                        self._on_cancel(a, b)))
+        # Seed adjacency *after* the watches exist so cascades observe
+        # the full current topology.
+        for first, second in seed_pairs:
+            self.contact_up(first, second)
+
+    def _on_event(self, event: ConnectivityEvent) -> None:
+        self.wakeups += 1
+        if event.kind == LINK_UP:
+            self.contact_up(event.node_a, event.node_b)
+        else:
+            self.contact_down(event.node_a, event.node_b)
+
+    def _on_cancel(self, a: str, b: str) -> None:
+        if self._detached:
+            return
+        # The bus cancels watches when World.remove_node drops an
+        # endpoint (power-off churn): retire whichever side is gone.
+        for name in (a, b):
+            if name in self.stores and not self.world.has_node(name):
+                self.retire_node(name)
+
+    def detach(self) -> None:
+        """Cancel every watch (measurement finished).  Idempotent."""
+        self._detached = True
+        for watch in self._watches:
+            if watch.active:
+                watch.cancel()
+        self._watches.clear()
+
+
+class PollingDtnOverlay(DtnPlane):
+    """The 1 s polling oracle: adjacency re-derived every tick.
+
+    Kept as the baseline the event-driven overlay is gated against
+    (``bench_dtn_delivery``: ≥ 5× fewer wakeups at N = 500) and as the
+    semantic cross-check (same delivered bundles on contacts longer
+    than the poll interval; tests assert it).  Each tick charges one
+    wakeup per live node — every node's forwarder ran, found (mostly)
+    nothing, and went back to sleep, exactly the cost profile the
+    event-driven design removes.
+    """
+
+    def __init__(self, world: "World", router: Router,
+                 tech: Technology | str = "bluetooth",
+                 nodes: typing.Sequence[str] | None = None,
+                 capacity_bytes: int | None = None,
+                 policy: str = EVICT_OLDEST,
+                 meter: TrafficMeter | None = None,
+                 poll_interval_s: float = 1.0):
+        super().__init__(world, router, tech=tech, nodes=nodes,
+                         capacity_bytes=capacity_bytes, policy=policy,
+                         meter=meter)
+        if poll_interval_s <= 0:
+            raise ValueError(
+                f"poll interval must be positive: {poll_interval_s}")
+        self.poll_interval_s = poll_interval_s
+        self._stopped = False
+        for first, second in self._pairs_in_range():
+            self.contact_up(first, second)
+        self._process = self.sim.spawn(self._poll_loop(),
+                                       name="dtn-polling-oracle")
+
+    def _pairs_in_range(self):
+        names = list(self.stores)
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                if self.world.in_range(first, second, self.tech):
+                    yield (first, second)
+
+    def _poll_loop(self):
+        while not self._stopped:
+            yield self.sim.timeout(self.poll_interval_s)
+            if self._stopped:
+                return
+            self.tick()
+
+    def tick(self) -> None:
+        """One polling round: wake every forwarder, diff adjacencies."""
+        world = self.world
+        for name in list(self.stores):
+            if name not in self._dead and not world.has_node(name):
+                self.retire_node(name)
+        live = self.live_nodes()
+        self.wakeups += len(live)
+        fresh: dict[str, set[str]] = {}
+        for name in live:
+            found = world.neighbors(name, self.tech)
+            fresh[name] = {peer for peer in found if peer in self.stores
+                           and peer not in self._dead}
+        for name in live:
+            before = self._adjacent[name]
+            now = fresh[name]
+            for peer in sorted(before - now):
+                self.contact_down(name, peer)
+            for peer in sorted(now - before):
+                if name < peer:   # the peer's own pass covers the rest
+                    self.contact_up(name, peer)
+
+    def stop(self) -> None:
+        """End the polling process after its current sleep."""
+        self._stopped = True

@@ -1,0 +1,158 @@
+"""DTN routing baselines: direct-delivery, epidemic, spray-and-wait.
+
+A router is the *policy* half of the store-carry-forward plane: given a
+contact between a carrier and a peer, it decides which of the carrier's
+bundles to transmit and what happens to custody afterwards.  The
+*mechanics* — stores, contact events, delivery bookkeeping — live in
+:mod:`repro.dtn.forwarder`; routers are stateless (all per-bundle state
+rides the bundle's ``copies`` field and the stores' summary vectors),
+so one router instance serves every node of a plane.
+
+The three classics, in increasing overhead:
+
+========================  ==========================================
+``direct``                The source holds its bundle until it meets
+                          the destination itself.  One transmission
+                          per delivery; delivery ratio bounded by the
+                          source–destination meeting probability.
+``spray``                 Binary spray-and-wait (Spyropoulos et al.):
+                          a bundle starts with ``copies`` tokens; a
+                          custodian with ``c > 1`` tokens hands
+                          ``floor(c/2)`` to a met peer; with one token
+                          left it *waits* for the destination.
+                          Bounded copies, most of epidemic's ratio.
+``epidemic``              Flood with summary-vector dedup (Vahdat &
+                          Becker): every contact sends everything the
+                          peer has never seen.  Upper-bounds delivery
+                          ratio and latency at maximal overhead.
+========================  ==========================================
+
+Transmission order within one contact is deterministic and shared by
+all routers (:func:`transmission_order`): bundles destined to the peer
+first, then oldest-first — the same lexicographic-policy pattern as the
+service plane's :func:`repro.core.routing.route_rank`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.dtn.bundle import Bundle
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dtn.store import MessageStore
+
+#: Default spray-and-wait token budget per bundle.
+DEFAULT_SPRAY_COPIES = 8
+
+
+def transmission_order(bundles: typing.Iterable[Bundle],
+                       peer_id: str) -> list[Bundle]:
+    """Deterministic per-contact send order (shared by every router).
+
+    Lexicographic, smaller first: destined-to-peer before relay traffic,
+    then older creation instants, then bundle id — mirroring the route
+    ranking's "most valuable first" shape (see
+    :func:`repro.core.routing.route_rank`).  O(n log n).
+    """
+    return sorted(bundles, key=lambda b: (
+        0 if b.destination == peer_id else 1, b.created_at, b.bundle_id))
+
+
+class Router:
+    """Base router: subclasses override the two policy decisions."""
+
+    #: Registry key (``settings["routers"]`` values in specs).
+    name = "base"
+
+    def offers(self, store: "MessageStore", peer_id: str,
+               peer_seen: frozenset[str]) -> list[Bundle]:
+        """The carrier's bundles to transmit to ``peer_id``, in order.
+
+        ``peer_seen`` is the peer's summary vector; no router ever
+        offers a bundle the peer has already seen (the dedup that keeps
+        ``DtnCounters.duplicates`` at zero).
+        """
+        eligible = [bundle for bundle in store.bundles()
+                    if bundle.bundle_id not in peer_seen
+                    and self.eligible(bundle, peer_id)]
+        return transmission_order(eligible, peer_id)
+
+    def eligible(self, bundle: Bundle, peer_id: str) -> bool:
+        """May ``bundle`` be transmitted to ``peer_id``?  Policy hook."""
+        raise NotImplementedError
+
+    def after_transmit(self, store: "MessageStore", bundle: Bundle,
+                       peer_id: str, now: float) -> Bundle:
+        """Settle custody after a copy went out; returns the peer's copy.
+
+        Called once per transmission.  Default: delivery to the
+        destination releases the carrier's custody (the contact is the
+        acknowledgement); a relay leaves the carrier's copy untouched.
+        """
+        if bundle.destination == peer_id:
+            store.remove(bundle.bundle_id)
+        return bundle
+
+
+class DirectDelivery(Router):
+    """Source-only custody: transmit only to the destination itself."""
+
+    name = "direct"
+
+    def eligible(self, bundle: Bundle, peer_id: str) -> bool:
+        return bundle.destination == peer_id
+
+
+class Epidemic(Router):
+    """Flood every contact, deduplicated by summary vectors."""
+
+    name = "epidemic"
+
+    def eligible(self, bundle: Bundle, peer_id: str) -> bool:
+        return True   # the summary vector already filtered seen ids
+
+
+class SprayAndWait(Router):
+    """Binary spray-and-wait with a fixed token budget per bundle.
+
+    ``copies`` is the budget stamped on bundles at injection (the plane
+    reads :attr:`initial_copies`); custody splits binarily on each
+    relay.  Token conservation — the sum of tokens over all custodians
+    of one bundle never exceeds the budget — is asserted by the tests.
+    """
+
+    name = "spray"
+
+    def __init__(self, copies: int = DEFAULT_SPRAY_COPIES):
+        if copies < 1:
+            raise ValueError(f"spray copies must be >= 1: {copies}")
+        self.initial_copies = copies
+
+    def eligible(self, bundle: Bundle, peer_id: str) -> bool:
+        # Delivery is always allowed; relaying needs spare tokens
+        # (one-token custodians are in the wait phase).
+        return bundle.destination == peer_id or bundle.copies > 1
+
+    def after_transmit(self, store: "MessageStore", bundle: Bundle,
+                       peer_id: str, now: float) -> Bundle:
+        if bundle.destination == peer_id:
+            store.remove(bundle.bundle_id)
+            return bundle
+        given = bundle.copies // 2
+        kept = bundle.copies - given
+        store.replace(bundle.with_copies(kept), now)
+        return bundle.with_copies(given)
+
+
+def make_router(name: str, spray_copies: int = DEFAULT_SPRAY_COPIES
+                ) -> Router:
+    """Instantiate a baseline router by registry name."""
+    if name == DirectDelivery.name:
+        return DirectDelivery()
+    if name == Epidemic.name:
+        return Epidemic()
+    if name == SprayAndWait.name:
+        return SprayAndWait(copies=spray_copies)
+    raise KeyError(f"unknown DTN router {name!r}; known: "
+                   f"['direct', 'epidemic', 'spray']")

@@ -19,6 +19,7 @@ import typing
 
 from repro.scenarios import (
     Scenario,
+    commuter_corridor,
     dense_plaza,
     fig_3_3_coverage_exclusion,
     fig_3_6_dynamic_discovery,
@@ -26,6 +27,8 @@ from repro.scenarios import (
     fig_4_5_bridge_test,
     fig_5_8_handover,
     flash_crowd,
+    flash_crowd_broadcast,
+    island_hopping_ferry,
     line_topology,
     random_disc,
     replay_arena,
@@ -229,6 +232,39 @@ register_scenario(
 register_scenario(
     "replay_arena", replay_arena,
     summary="empty world under which recorded contact traces replay")
+
+register_scenario(
+    "commuter_corridor", commuter_corridor,
+    params=(
+        Param("count", int, 10, "commuters in the corridor"),
+        Param("length_m", float, 120.0, "corridor length, metres"),
+        Param("width_m", float, 8.0, "corridor width, metres"),
+        _TECHS,
+    ),
+    summary=("home/work terminals beyond mutual range; bundles ride "
+             "commuters"))
+
+register_scenario(
+    "island_hopping_ferry", island_hopping_ferry,
+    params=(
+        Param("count", int, 9, "islanders across all islands"),
+        Param("islands", int, 3, "static population clusters"),
+        Param("island_spacing_m", float, 60.0,
+              "metres between island centres"),
+        Param("dwell_s", float, 20.0, "ferry dwell per stop, seconds"),
+        Param("cycles", int, 4, "ferry shuttle cycles before parking"),
+        _TECHS,
+    ),
+    summary="partitioned islands bridged only by a scripted ferry")
+
+register_scenario(
+    "flash_crowd_broadcast", flash_crowd_broadcast,
+    params=(
+        Param("count", int, 24, "roaming attendees"),
+        Param("area", float, 60.0, "side of the square, metres"),
+        _TECHS,
+    ),
+    summary="static announcer amid a roaming crowd (broadcast traffic)")
 
 register_scenario(
     "flash_crowd", flash_crowd,

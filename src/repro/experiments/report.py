@@ -1,13 +1,21 @@
 """Aggregation and reporting: fold run records into summary rows.
 
-Records from the runner are grouped by configuration — (scenario,
-canonicalised params) — and every numeric metric is folded across the
-group's repeats into a :class:`repro.metrics.stats.Summary` (mean,
-95% CI half-width, extremes).  Output renders through the shared
+Records from the runner are grouped by configuration — (workload,
+scenario, canonicalised params) — and every numeric metric is folded
+across the group's repeats into a :class:`repro.metrics.stats.Summary`
+(mean, 95% CI half-width, extremes).  Output renders through the shared
 :mod:`repro.metrics.tables` helpers: an aligned table for terminals and
 long-format CSV (one row per configuration × metric) for downstream
 tooling.  All orderings are sorted, so aggregate output inherits the
 runner's byte-for-byte determinism.
+
+Mixed inputs are first-class: a ``runs.jsonl`` concatenated from
+several specs may hold rows with *disjoint metric schemas* (DTN runs
+emit delivery metrics that discovery runs lack).  Each metric's summary
+folds only the records that actually observed it — per-metric ``n`` may
+be smaller than the row's ``runs`` — and records from different
+workloads never share a row even when their scenario and params
+coincide (the ``replay_arena`` case).
 """
 
 from __future__ import annotations
@@ -21,7 +29,8 @@ from repro.metrics.stats import Summary, summarize
 from repro.metrics.tables import format_table, render_csv
 
 CSV_HEADERS = ("scenario", "params", "metric", "n",
-               "mean", "ci95", "median", "min", "max", "stdev")
+               "mean", "ci95", "median", "min", "max", "stdev",
+               "workload")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -32,24 +41,31 @@ class AggregateRow:
     params_json: str                 #: canonical JSON of the cell params
     runs: int                        #: records folded into this row
     metrics: dict[str, Summary]      #: metric name → repeat summary
+    workload: str = ""               #: workload that produced the group
 
 
 def aggregate(records: typing.Iterable[dict]) -> list[AggregateRow]:
     """Group records by configuration and summarise across repeats.
 
-    ``None`` metric values (e.g. "newcomer never detected") are
-    excluded from that metric's sample; a metric observed only as
-    ``None`` is dropped from the row.  Non-numeric metrics (the
-    contact-trace workloads record digest strings) are identity, not
-    sample data, and are skipped.  Rows come back sorted by
-    (scenario, params).
+    The group key is (workload, scenario, canonical params) — records
+    missing a ``workload`` field (hand-built fixtures, pre-PR-4 result
+    files) group under ``""``.  ``None`` metric values (e.g. "newcomer
+    never detected") are excluded from that metric's sample; a metric
+    observed only as ``None`` is dropped from the row.  Non-numeric
+    metrics (the contact-trace workloads record digest strings) are
+    identity, not sample data, and are skipped.  Metrics absent from
+    some of a group's records simply fold over the records that have
+    them (disjoint-schema tolerance).  Rows come back sorted by
+    (scenario, params, workload).
     """
-    groups: dict[tuple[str, str], list[dict]] = {}
+    groups: dict[tuple[str, str, str], list[dict]] = {}
     for record in records:
-        key = (record["scenario"], canonical_json(record["params"]))
+        key = (record["scenario"], canonical_json(record["params"]),
+               str(record.get("workload", "")))
         groups.setdefault(key, []).append(record)
     rows = []
-    for (scenario, params_json), members in sorted(groups.items()):
+    for (scenario, params_json, workload), members in sorted(
+            groups.items()):
         samples: dict[str, list[float]] = {}
         for record in members:
             for metric, value in record["metrics"].items():
@@ -65,7 +81,8 @@ def aggregate(records: typing.Iterable[dict]) -> list[AggregateRow]:
             scenario=scenario, params_json=params_json, runs=len(members),
             metrics={metric: summarize(values)
                      for metric, values in sorted(samples.items())
-                     if values}))
+                     if values},
+            workload=workload))
     return rows
 
 
@@ -79,6 +96,7 @@ def aggregate_csv(rows: typing.Sequence[AggregateRow]) -> str:
                 f"{summary.mean:.6g}", f"{summary.ci95:.6g}",
                 f"{summary.median:.6g}", f"{summary.minimum:.6g}",
                 f"{summary.maximum:.6g}", f"{summary.stdev:.6g}",
+                row.workload,
             ])
     return render_csv(CSV_HEADERS, lines)
 
@@ -94,10 +112,12 @@ def aggregate_table(title: str,
                 summary.count,
                 f"{summary.mean:.4g} ± {summary.ci95:.3g}",
                 f"[{summary.minimum:.4g}, {summary.maximum:.4g}]",
+                row.workload,
             ])
     return format_table(
         title,
-        ["scenario", "params", "metric", "n", "mean ± ci95", "range"],
+        ["scenario", "params", "metric", "n", "mean ± ci95", "range",
+         "workload"],
         body)
 
 

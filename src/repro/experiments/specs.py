@@ -97,6 +97,23 @@ register_spec(ExperimentSpec(
     description=("pairwise contact traces from the analytic crossing "
                  "solver, recorded without polling")))
 
+#: The store-carry-forward campaign: every routing baseline on the DTN
+#: scenario family, paired per run (same seed = same mobility and the
+#: same injection schedule for each router).  The bench gates "epidemic
+#: beats direct-delivery on delivery ratio" on this spec.
+register_spec(ExperimentSpec(
+    name="dtn_sweep",
+    workload="dtn",
+    scenarios=("commuter_corridor", "island_hopping_ferry"),
+    axes={"count": (8, 14)},
+    repeats=2,
+    master_seed=130,
+    settings={"duration_s": 480.0, "messages": 14, "ttl_s": 300.0,
+              "routers": ("direct", "epidemic", "spray"),
+              "spray_copies": 6},
+    description=("DTN delivery ratio/latency/overhead: direct vs "
+                 "epidemic vs spray-and-wait on partitioned worlds")))
+
 #: The production-scale gate: grid vs pairwise discovery at growing N.
 register_spec(ExperimentSpec(
     name="scale_sweep",

@@ -28,6 +28,12 @@ from repro.baselines.previous_peerhood import (
 from repro.core.config import HandoverConfig
 from repro.core.errors import ConnectionClosedError, PeerHoodError
 from repro.core.handover import HandoverThread
+from repro.dtn import (
+    DtnOverlay,
+    generate_traffic,
+    make_router,
+    schedule_traffic,
+)
 from repro.experiments.registry import build_scenario, get_scenario
 from repro.experiments.spec import RunPoint
 from repro.radio.channel import OutOfRange
@@ -354,6 +360,94 @@ def trace_replay(point: RunPoint) -> Metrics:
         "final_t": result.final_time,
         "digest": result.digest(),
     }
+
+
+# ----------------------------------------------------------------------
+# dtn: store-carry-forward delivery under each routing baseline
+# ----------------------------------------------------------------------
+def _resolve_pattern(pattern: str, nodes: typing.Sequence[str]) -> str:
+    """``"auto"`` picks the pattern the scenario was built for."""
+    if pattern != "auto":
+        return pattern
+    names = set(nodes)
+    if {"home", "work"} <= names:
+        return "endpoints"
+    if "source" in names:
+        return "broadcast"
+    return "uniform"
+
+
+@register_workload("dtn")
+def dtn_delivery(point: RunPoint) -> Metrics:
+    """Paired DTN comparison: every router on identical mobility+traffic.
+
+    For each name in ``settings["routers"]`` the workload rebuilds the
+    point's scenario with the *same* seed — identical node paths — and
+    replays the *same* deterministic injection schedule through a fresh
+    event-driven :class:`~repro.dtn.forwarder.DtnOverlay`, so router
+    metrics differ only by routing policy (a paired comparison, which
+    is what lets ``bench_dtn_delivery`` gate "epidemic beats direct on
+    delivery ratio" per run rather than statistically).
+
+    ``settings``: ``duration_s`` (default 480), ``messages`` (16; for
+    the broadcast pattern this is *rounds*), ``ttl_s`` (300),
+    ``size_bytes`` (512), ``routers`` (all three), ``spray_copies``
+    (6), ``capacity_bytes`` (0 = unbounded), ``policy`` (``oldest``),
+    ``pattern`` (``auto``: endpoints if home/work exist, broadcast if
+    ``source`` exists, else uniform), ``tech`` (bluetooth),
+    ``inject_start_s`` / ``inject_end_s`` (10 / half the duration).
+    """
+    duration_s = float(point.settings.get("duration_s", 480.0))
+    messages = int(point.settings.get("messages", 16))
+    ttl_s = float(point.settings.get("ttl_s", 300.0))
+    size_bytes = int(point.settings.get("size_bytes", 512))
+    routers = list(point.settings.get(
+        "routers", ("direct", "epidemic", "spray")))
+    spray_copies = int(point.settings.get("spray_copies", 6))
+    capacity = int(point.settings.get("capacity_bytes", 0)) or None
+    policy = str(point.settings.get("policy", "oldest"))
+    pattern = str(point.settings.get("pattern", "auto"))
+    tech = str(point.settings.get("tech", "bluetooth"))
+    inject_start = float(point.settings.get("inject_start_s", 10.0))
+    inject_end = float(point.settings.get("inject_end_s",
+                                          duration_s / 2.0))
+    metrics: Metrics = {}
+    for router_name in routers:
+        scenario = build_scenario(point.scenario, point.seed, point.params)
+        plane = DtnOverlay(scenario.world,
+                           make_router(router_name,
+                                       spray_copies=spray_copies),
+                           tech=tech, capacity_bytes=capacity,
+                           policy=policy, meter=scenario.meter)
+        nodes = plane.live_nodes()
+        resolved = _resolve_pattern(pattern, nodes)
+        injections = generate_traffic(
+            scenario.sim.rng("dtn/traffic"), nodes, resolved, messages,
+            window=(inject_start, inject_end), size_bytes=size_bytes,
+            ttl_s=ttl_s, source="source" if "source" in nodes else None,
+            endpoints=("home", "work") if resolved == "endpoints"
+            else None)
+        schedule_traffic(plane, injections)
+        scenario.run(until=duration_s)
+        plane.detach()
+        latencies = plane.latencies()
+        counters = plane.counters
+        metrics.update({
+            "nodes": len(nodes),
+            "pattern_" + resolved: 1,
+            "created": counters.created,
+            f"{router_name}_delivery_ratio": plane.delivery_ratio(),
+            f"{router_name}_delivered": counters.delivered,
+            f"{router_name}_latency_mean":
+                statistics.fmean(latencies) if latencies else None,
+            f"{router_name}_transmissions": counters.transmissions,
+            f"{router_name}_overhead": plane.overhead_ratio(),
+            f"{router_name}_wakeups": plane.wakeups,
+            f"{router_name}_duplicates": counters.duplicates,
+            f"{router_name}_expired": counters.expired,
+            f"{router_name}_evicted": counters.evicted,
+        })
+    return metrics
 
 
 # ----------------------------------------------------------------------

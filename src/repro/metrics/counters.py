@@ -7,7 +7,9 @@ Categories used by the stack:
 * ``data`` — application payload (including bridge re-transmissions, so a
   two-hop message counts twice — the paper's "double amount of time" for
   interconnection shows up here as double volume);
-* ``query`` — the Gnutella baseline's flooded queries (§3.2).
+* ``query`` — the Gnutella baseline's flooded queries (§3.2);
+* ``dtn-data`` / ``dtn-control`` — bundle payloads and summary vectors
+  exchanged by the store-carry-forward plane (:mod:`repro.dtn`).
 
 :class:`BusCounters` instruments the connectivity-event bus
 (:mod:`repro.radio.bus`) — it lives here so the metrics layer owns every
@@ -58,6 +60,69 @@ class BusCounters:
             "fired": self.fired,
             "cancelled": self.cancelled,
             "rescheduled": self.rescheduled,
+        }
+
+
+@dataclasses.dataclass
+class DtnCounters:
+    """Store-carry-forward data-plane activity (:mod:`repro.dtn`).
+
+    One instance per :class:`~repro.dtn.forwarder.DtnPlane`; the DTN
+    benchmarks and the ``dtn`` workload read these.  All counts are
+    bundle copies, not bytes (byte volume rides the shared
+    :class:`TrafficMeter` under the ``dtn-data`` / ``dtn-control``
+    categories).
+
+    Attributes
+    ----------
+    created:
+        Bundles injected by :meth:`~repro.dtn.forwarder.DtnPlane.send`.
+    transmissions:
+        Bundle copies pushed over a contact (relays *and* final
+        deliveries; the overhead ratio is ``transmissions / delivered``).
+    delivered:
+        Bundles that reached their destination (first copy only).
+    duplicates:
+        Copies offered to a node that had already seen the bundle —
+        zero under summary-vector dedup, counted to prove it.
+    expired:
+        Copies dropped because their TTL ran out (lazy sweeps at
+        contact/send instants — expiry costs no timer wakeups).
+    evicted:
+        Copies dropped by a capacity-eviction policy making room.
+    dropped_dead:
+        Copies lost because their custodian was powered off / removed
+        mid-carry (the churn path; never delivered post-mortem).
+    """
+
+    created: int = 0
+    transmissions: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    expired: int = 0
+    evicted: int = 0
+    dropped_dead: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (between benchmark rounds)."""
+        self.created = 0
+        self.transmissions = 0
+        self.delivered = 0
+        self.duplicates = 0
+        self.expired = 0
+        self.evicted = 0
+        self.dropped_dead = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot for JSON benchmark artifacts."""
+        return {
+            "created": self.created,
+            "transmissions": self.transmissions,
+            "delivered": self.delivered,
+            "duplicates": self.duplicates,
+            "expired": self.expired,
+            "evicted": self.evicted,
+            "dropped_dead": self.dropped_dead,
         }
 
 

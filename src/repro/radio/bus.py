@@ -129,7 +129,18 @@ class ConnectivityBus:
                    callback: typing.Callable[[ConnectivityEvent], None],
                    on_cancel: typing.Callable[[], None] | None = None,
                    ) -> Watch:
-        """Repeating watch: fire at every LinkUp/LinkDown of the pair."""
+        """Repeating watch: fire at every LinkUp/LinkDown of the pair.
+
+        Registration is O(P) in the pair's mobility segments over one
+        prediction horizon (the arm-time closed-form solve); each
+        firing re-arms at the same cost.  ``callback`` receives the
+        :class:`ConnectivityEvent` *at* the crossing instant (kernel
+        time equals ``event.time``).  ``on_cancel`` fires exactly once
+        if the watch is invalidated (node removed, explicit
+        :meth:`cancel`) — the contact-trace recorder and the DTN
+        overlay use it to observe churn.  Steady-state cost for a
+        settled pair is zero: the watch parks.
+        """
         return self._register(node_a, node_b, tech, None, callback,
                               on_cancel, once=False, only_kind=None)
 
@@ -141,7 +152,11 @@ class ConnectivityBus:
         """One-shot watch: fire once at the pair's next LinkDown.
 
         Used by :class:`~repro.radio.channel.Link` to break at the
-        scheduled instant the endpoints leave coverage.
+        scheduled instant the endpoints leave coverage.  O(P) to arm
+        (see :meth:`watch_link`); intermediate LinkUp flips are skipped
+        inside the same arm call, never scheduled.  The watch
+        deactivates itself after firing — cancelling it afterwards is a
+        harmless no-op.
         """
         return self._register(node_a, node_b, tech, None, callback,
                               on_cancel, once=True, only_kind=LINK_DOWN)
@@ -154,9 +169,15 @@ class ConnectivityBus:
                             | None = None) -> Watch:
         """One-shot watch: fire when quality next reads below threshold.
 
-        If the pair's quality is *already* below the threshold the event
-        fires on the next kernel step at the current instant — callers
-        need no pre-check.  Used by the event-driven handover monitor.
+        ``threshold`` is on the paper's 0–255 quality scale.  If the
+        pair's quality is *already* below the threshold the event fires
+        on the next kernel step at the current instant — callers need
+        no pre-check.  Pure-geometry pairs invert the threshold to a
+        distance ring and arm in O(P) closed form; pairs under a
+        quality override fall back to guarded bisection
+        (O(horizon / step) predicate samples per arm) and never park,
+        since an override is not a function of geometry.  Used by the
+        event-driven handover monitor.
         """
         if not 0 <= threshold <= 255:
             raise ValueError(f"threshold out of range: {threshold}")
@@ -184,9 +205,12 @@ class ConnectivityBus:
     def cancel(self, watch: Watch) -> None:
         """Cancel a watch; its pending kernel event becomes a no-op.
 
-        Idempotent.  Fires the watch's ``on_cancel`` hook (the handover
-        monitor uses it to wake from a predictive sleep and re-examine
-        its connection).
+        Idempotent; O(1) (heap entries cannot be deleted, so the
+        scheduled callback is nulled instead — see
+        :class:`~repro.sim.kernel.ScheduledCall`).  Fires the watch's
+        ``on_cancel`` hook (the handover monitor uses it to wake from a
+        predictive sleep and re-examine its connection; the DTN overlay
+        uses it to notice churn).
         """
         if not watch.active:
             return
@@ -203,7 +227,11 @@ class ConnectivityBus:
         """Cancel every watch naming ``node_id``; returns how many.
 
         Called by ``World.remove_node`` so no contact or quality event
-        for a powered-off/removed node can ever fire.
+        for a powered-off/removed node can ever fire — the stale-state
+        guarantee every consumer (links, monitors, recorders, the DTN
+        forwarder) leans on.  O(W log W) for W watches naming the node
+        (sorted for deterministic ``on_cancel`` ordering).  A node
+        re-added later under the same id starts with no watches.
         """
         watch_ids = self._by_node.pop(node_id, set())
         cancelled = 0
@@ -216,7 +244,16 @@ class ConnectivityBus:
 
     def invalidate_pair(self, node_a: str, node_b: str,
                         tech: "Technology") -> None:
-        """Re-predict every watch on the pair (quality override changed)."""
+        """Re-predict every watch on the pair (quality override changed).
+
+        Wired into ``World.set_quality_override``: the outstanding
+        schedule was computed against the old quality function and is
+        silently wrong, so each matching watch's pending event is
+        cancelled and the watch re-armed from the current instant.
+        O(W_a ∩ W_b) plus one re-prediction per affected watch; counted
+        in ``stats.rescheduled``.  Watches on other technologies of the
+        same pair are untouched.
+        """
         first, second = sorted((node_a, node_b))
         ids = self._by_node.get(first, set()) & self._by_node.get(
             second, set())

@@ -126,7 +126,12 @@ def next_distance_crossing(
     Closed-form over the pair's merged linear segments; ``None`` when
     the models provide no segments (caller should use
     :func:`bisect_predicate_flip` on a sampled predicate) or when no
-    flip occurs before ``t1``.
+    flip occurs before ``t1``.  Units: metres in, sim-seconds out.
+    O(S_a + S_b) for the models' segment counts over the window (the
+    two-pointer merge visits each piece once; each piece is one
+    quadratic solve).  Tangential grazes are not flips; a pair starting
+    exactly on the ring takes the state it is heading toward, so
+    re-solving from a returned crossing time always progresses.
     """
     if threshold_m <= 0:
         raise ValueError(f"threshold must be positive: {threshold_m}")
@@ -179,7 +184,11 @@ def next_distance_crossing(
 def distance_crossings(
         mobility_a: MobilityModel, mobility_b: MobilityModel,
         threshold_m: float, t0: float, t1: float) -> list[Crossing]:
-    """All flips in ``(t0, t1]``, in time order (test/trace helper)."""
+    """All flips in ``(t0, t1]``, in time order (test/trace helper).
+
+    O(C · (S_a + S_b)) for C crossings in the window — each crossing
+    re-enters :func:`next_distance_crossing` from the previous root.
+    """
     crossings: list[Crossing] = []
     cursor = t0
     while True:
@@ -206,6 +215,8 @@ def bisect_predicate_flip(
     returned time sees the new state and makes progress).  Flips narrower
     than ``step`` can be missed — hence "guarded": callers reserve this
     for monotone-ish signals such as the Fig. 5.8 linear quality decay.
+    All times in sim-seconds; O((t1 − t0)/step + log₂(step/tolerance))
+    predicate evaluations.
     """
     if t1 <= t0:
         return None
@@ -256,7 +267,9 @@ class ContactSolver:
 
         A settled pair's distance is constant forever, so a prediction
         window with no crossing is *final* — the bus parks the watch
-        instead of re-checking every horizon.
+        instead of re-checking every horizon.  O(1) (two
+        ``settled_after()`` queries); removed nodes count as settled
+        (they never cross anything again).  ``after`` in sim-seconds.
         """
         pair = self._mobilities(a, b)
         if pair is None:
@@ -277,6 +290,12 @@ class ContactSolver:
         """Next flip of ``in range on tech`` for the pair, or ``None``.
 
         ``Crossing.inside`` True is a LinkUp instant, False a LinkDown.
+        ``t0`` defaults to the world's current instant; the window ends
+        one ``horizon_s`` later (600 s default) — ``None`` means "no
+        flip before the horizon", which callers must treat as *re-check
+        at the horizon*, not "never" (unless :meth:`pair_settled`).
+        Cost: one O(segments) closed-form solve; a pair with a removed
+        endpoint answers ``None`` without solving.
         """
         start = self.world.sim.now if t0 is None else t0
         end = start + (self.horizon_s if horizon_s is None else horizon_s)
@@ -298,12 +317,17 @@ class ContactSolver:
         """Next flip of ``link_quality(a, b, tech) >= threshold``.
 
         ``Crossing.inside`` True means quality is at/above the threshold
-        after the instant (QualityAbove), False below (QualityBelow).
-        With a quality override installed the override is an arbitrary
-        callable, so the solver bisects the full quality function of
-        time; pure geometry inverts the threshold to a distance ring via
-        :meth:`~repro.radio.quality.QualityModel.threshold_distance` and
-        reuses the closed-form distance solver.
+        after the instant (QualityAbove), False below (QualityBelow);
+        ``threshold`` is on the 0–255 scale, window semantics as in
+        :meth:`next_link_crossing`.  With a quality override installed
+        the override is an arbitrary callable, so the solver bisects
+        the full quality function of time (O(horizon/step) samples,
+        counted in ``bisections``); pure geometry inverts the threshold
+        to a distance ring via
+        :meth:`~repro.radio.quality.QualityModel.threshold_distance`
+        and reuses the closed-form distance solver (counted in
+        ``predictions``).  A threshold quality can never reach (ring
+        ≤ 0) answers ``None`` immediately.
         """
         start = self.world.sim.now if t0 is None else t0
         end = start + (self.horizon_s if horizon_s is None else horizon_s)

@@ -7,12 +7,21 @@ thesis' figures (3.3, 3.6, 3.9, 4.5, 5.8, 6.1) plus generic lines, grids
 and random discs for sweeps.  :mod:`~repro.scenarios.large_scale` adds
 the production-scale family (dense plaza, sparse highway, flash-crowd
 churn) that stresses the spatial-grid discovery path at hundreds of
-nodes.  :mod:`~repro.scenarios.traces` records the connectivity-event
-stream as a JSONL contact trace and replays it as a mobility-free
-workload (:func:`replay_arena` is its registered arena scenario).
+nodes.  :mod:`~repro.scenarios.dtn` is the store-carry-forward family
+(commuter corridor, island-hopping ferry, flash-crowd broadcast) where
+some endpoint pairs are never simultaneously connected and delivery
+must ride a moving custodian.  :mod:`~repro.scenarios.traces` records
+the connectivity-event stream as a JSONL contact trace and replays it
+as a mobility-free workload (:func:`replay_arena` is its registered
+arena scenario).
 """
 
 from repro.scenarios.builder import Scenario
+from repro.scenarios.dtn import (
+    commuter_corridor,
+    flash_crowd_broadcast,
+    island_hopping_ferry,
+)
 from repro.scenarios.large_scale import (
     dense_plaza,
     flash_crowd,
@@ -43,6 +52,7 @@ from repro.scenarios.topologies import (
 # trace record/replay helpers above are importable but are not factories.
 __all__ = [
     "Scenario",
+    "commuter_corridor",
     "dense_plaza",
     "fig_3_3_coverage_exclusion",
     "fig_3_6_dynamic_discovery",
@@ -50,6 +60,8 @@ __all__ = [
     "fig_4_5_bridge_test",
     "fig_5_8_handover",
     "flash_crowd",
+    "flash_crowd_broadcast",
+    "island_hopping_ferry",
     "line_topology",
     "random_disc",
     "replay_arena",

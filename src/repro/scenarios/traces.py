@@ -49,7 +49,11 @@ from repro.sim.kernel import Simulator
 # serialisation
 # ----------------------------------------------------------------------
 def trace_row(event: ConnectivityEvent) -> dict:
-    """JSON-safe canonical row for one connectivity event."""
+    """JSON-safe canonical row for one connectivity event.  O(1).
+
+    ``t`` is sim-seconds, ``a`` < ``b``; ``threshold`` (0–255) appears
+    only on quality events.  Inverse of :func:`row_event`.
+    """
     row = {
         "t": event.time,
         "kind": event.kind,
@@ -63,7 +67,7 @@ def trace_row(event: ConnectivityEvent) -> dict:
 
 
 def row_event(row: typing.Mapping) -> ConnectivityEvent:
-    """Inverse of :func:`trace_row`."""
+    """Inverse of :func:`trace_row`; tolerant of JSON-parsed types.  O(1)."""
     return ConnectivityEvent(
         time=float(row["t"]), kind=str(row["kind"]),
         node_a=str(row["a"]), node_b=str(row["b"]),
@@ -77,7 +81,12 @@ def trace_line(row: typing.Mapping) -> str:
 
 
 def trace_digest(rows: typing.Iterable[typing.Mapping]) -> str:
-    """SHA-256 over the canonical line rendering of the stream."""
+    """SHA-256 over the canonical line rendering of the stream.
+
+    O(rows).  Two streams digest equal iff their canonical JSONL bytes
+    are equal — the identity the record-vs-replay tests compare, cheap
+    enough to ship in run records (the ``contact_trace`` workload).
+    """
     hasher = hashlib.sha256()
     for row in rows:
         hasher.update(trace_line(row).encode("utf-8"))
@@ -87,7 +96,11 @@ def trace_digest(rows: typing.Iterable[typing.Mapping]) -> str:
 
 def write_trace(rows: typing.Iterable[typing.Mapping],
                 path: str | pathlib.Path) -> pathlib.Path:
-    """Write a trace as JSONL, deterministically."""
+    """Write a trace as JSONL, deterministically.
+
+    Canonical line rendering, ``\\n`` endings, parent directories
+    created; same rows ⇒ same bytes on any platform.  O(rows).
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8", newline="\n") as sink:
@@ -97,7 +110,12 @@ def write_trace(rows: typing.Iterable[typing.Mapping],
 
 
 def load_trace(path: str | pathlib.Path) -> list[dict]:
-    """Read a JSONL trace back into rows (file order preserved)."""
+    """Read a JSONL trace back into rows (file order preserved).
+
+    Blank lines are skipped; no validation beyond JSON parsing —
+    :func:`replay_trace` re-canonicalises through
+    :func:`row_event`/:func:`trace_row`.  O(rows).
+    """
     rows = []
     with open(path, encoding="utf-8") as source:
         for line in source:
@@ -170,7 +188,12 @@ def record_contact_trace(scenario: Scenario, tech: Technology | str,
     Installs the recorder, advances the simulation to ``until``
     (absolute sim-seconds), detaches, and returns the rows — written to
     ``path`` as JSONL when given.  The scenario's daemons need not be
-    started: contacts are pure geometry.
+    started: contacts are pure geometry.  Setup is O(pairs) watch
+    installations (guarded by the recorder's ``max_pairs``); the run
+    itself wakes the kernel only at actual contact changes, so a
+    static world records in O(pairs) total.  Nodes removed mid-run
+    simply stop producing events (their watches are cancelled by the
+    bus); rows already recorded for them are kept.
     """
     recorder = ContactTraceRecorder(scenario, tech, nodes=nodes)
     scenario.run(until=until)
@@ -206,6 +229,10 @@ def replay_trace(rows: typing.Sequence[typing.Mapping],
     pops them in (time, insertion) order — identical to the recorded
     order — and re-emits each through ``on_event`` (when given).  The
     returned rows re-serialise byte-identically to the recording.
+    O(rows log rows) kernel work, independent of the node count and
+    mobility complexity that produced the trace — the point of
+    replaying.  Rows must carry non-negative ``t`` in sim-seconds;
+    ``on_event`` exceptions propagate (the replay is synchronous).
     """
     sim = Simulator(seed=0)
     replayed: list[dict] = []

@@ -214,6 +214,51 @@ def test_aggregate_skips_none_and_drops_all_none_metrics():
     assert row.metrics["hits"].count == 2
 
 
+def test_aggregate_tolerates_mixed_specs_with_disjoint_metrics():
+    """A runs.jsonl concatenated from two specs must aggregate cleanly.
+
+    DTN runs emit delivery metrics that discovery runs lack, and both
+    may name the same scenario + params (the ``replay_arena`` case):
+    rows must split by workload, each metric folding only the records
+    that observed it.
+    """
+    discovery = [{"workload": "discovery", "scenario": "replay_arena",
+                  "params": {}, "repeat": r,
+                  "metrics": {"awareness_mean": 0.5, "digest": "abc"}}
+                 for r in range(2)]
+    dtn = [{"workload": "dtn", "scenario": "replay_arena",
+            "params": {}, "repeat": r,
+            "metrics": {"epidemic_delivery_ratio": 0.75 + r * 0.1,
+                        "epidemic_latency_mean": None}}
+           for r in range(2)]
+    rows = aggregate(discovery + dtn)
+    assert len(rows) == 2
+    by_workload = {row.workload: row for row in rows}
+    assert by_workload["discovery"].runs == 2
+    assert by_workload["discovery"].metrics["awareness_mean"].count == 2
+    assert "epidemic_delivery_ratio" not in \
+        by_workload["discovery"].metrics
+    assert by_workload["dtn"].metrics[
+        "epidemic_delivery_ratio"].count == 2
+    # observed only as None: dropped, not crashed on
+    assert "epidemic_latency_mean" not in by_workload["dtn"].metrics
+    # both renderers handle the mixed rows and carry the workload
+    text = aggregate_csv(rows)
+    assert ",discovery" in text and ",dtn" in text
+    from repro.experiments.report import aggregate_table
+    assert "workload" in aggregate_table("mixed", rows)
+
+
+def test_aggregate_handles_partial_metric_schemas_within_a_group():
+    """Rows of one group may individually lack metrics (old files)."""
+    records = [_record("s", {}, 0, shared=1.0, only_first=5.0),
+               _record("s", {}, 1, shared=2.0)]
+    [row] = aggregate(records)
+    assert row.runs == 2
+    assert row.metrics["shared"].count == 2
+    assert row.metrics["only_first"].count == 1
+
+
 def test_aggregate_csv_has_header_and_all_metric_rows():
     records = [_record("s", {"count": 2}, r, a=1.0, b=2.0)
                for r in range(2)]

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Intra-repo Markdown link checker (the `make docs-check` gate).
+
+Scans README.md, CHANGES.md, ROADMAP.md and every Markdown file under
+docs/ for inline links `[text](target)` and validates the *repo-local*
+ones:
+
+* relative file targets must exist (resolved against the linking file);
+* `#anchor` fragments pointing at Markdown files must match a heading
+  in the target file (GitHub-style slugs: lowercase, punctuation
+  stripped, spaces to dashes);
+* absolute URLs (http/https/mailto) are out of scope — CI must not
+  flake on the network.
+
+Exit status 0 when every link resolves; 1 with one line per broken
+link otherwise.  Stdlib only (the container bakes in no extra deps).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Files checked: the top-level entry points plus everything in docs/.
+SOURCES = ("README.md", "CHANGES.md", "ROADMAP.md")
+
+#: `[text](target)` — good enough for the repo's hand-written Markdown;
+#: images (`![alt](src)`) match too and are checked the same way.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Markdown headings, for anchor validation.
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_~]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    """Every heading slug in a Markdown file."""
+    return {slugify(match.group(1))
+            for match in HEADING_RE.finditer(
+                path.read_text(encoding="utf-8"))}
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    relative_name = path.relative_to(REPO_ROOT)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:   # same-file anchor
+            destination = path
+        else:
+            destination = (path.parent / base).resolve()
+            try:
+                destination.relative_to(REPO_ROOT)
+            except ValueError:
+                problems.append(
+                    f"{relative_name}: link escapes the repo: {target}")
+                continue
+            if not destination.exists():
+                problems.append(
+                    f"{relative_name}: missing target: {target}")
+                continue
+        if fragment and destination.suffix == ".md":
+            if slugify(fragment) not in anchors_of(destination):
+                problems.append(
+                    f"{relative_name}: no heading for anchor: {target}")
+    return problems
+
+
+def main() -> int:
+    sources = [REPO_ROOT / name for name in SOURCES
+               if (REPO_ROOT / name).exists()]
+    sources += sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems = []
+    for path in sources:
+        problems.extend(check_file(path))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"docs link check: {len(problems)} broken link(s) "
+              f"in {len(sources)} file(s)", file=sys.stderr)
+        return 1
+    print(f"docs link check: {len(sources)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
