@@ -6,8 +6,10 @@
 #   make bench-scale  just the spatial-grid scale benchmark (fast)
 #   make bench-events just the event-driven handover benchmark (fast)
 #   make bench-dtn    just the DTN delivery/wakeup benchmark
+#   make bench-capacity  just the bandwidth-limited contact benchmark
 #   make sweep        run the demo_sweep experiment campaign (4 workers)
 #   make dtn-sweep    run the DTN routing-baseline campaign (4 workers)
+#   make bandwidth-sweep  run the bandwidth-limited DTN campaign
 #   make lint         byte-compile every source tree (syntax/tab check)
 #   make docs-check   verify intra-repo links in README + docs/*.md
 #   make quickstart   run the two-device example end to end
@@ -17,8 +19,8 @@ export PYTHONPATH := src
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test bench bench-scale bench-events bench-dtn sweep dtn-sweep \
-        lint docs-check quickstart
+.PHONY: test bench bench-scale bench-events bench-dtn bench-capacity \
+        sweep dtn-sweep bandwidth-sweep lint docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +43,13 @@ bench-events:
 bench-dtn:
 	$(PYTHON) -m pytest benchmarks/bench_dtn_delivery.py -q -s
 
+# Bandwidth-limited contacts: PRoPHET vs epidemic under per-contact
+# byte budgets (writes BENCH_contact_capacity.json).  BENCH_CAP_N
+# overrides the N=120 rural-bus farm (the CI bench-smoke job runs it
+# small).
+bench-capacity:
+	$(PYTHON) -m pytest benchmarks/bench_contact_capacity.py -q -s
+
 # The reference experiment campaign: 24 runs (2 scenarios x 2 node
 # counts x 2 radio mixes x 3 repeats) -> results/demo_sweep/.  Output
 # is byte-identical at any --workers value.
@@ -51,6 +60,11 @@ sweep:
 # store-carry-forward scenario family -> results/dtn_sweep/.
 dtn-sweep:
 	$(PYTHON) -m repro.experiments run dtn_sweep --workers 4
+
+# The bandwidth-limited campaign: epidemic vs spray vs PRoPHET where
+# contact windows price byte budgets -> results/bandwidth_sweep/.
+bandwidth-sweep:
+	$(PYTHON) -m repro.experiments run bandwidth_sweep --workers 4
 
 # The container bakes in no external linter (flake8/ruff); compileall +
 # tabnanny catch syntax errors and indentation mixups without new deps.

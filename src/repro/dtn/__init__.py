@@ -13,20 +13,29 @@ Modules (mechanics / policy split):
 * :mod:`~repro.dtn.store` — per-node custody over the repo's shared
   :class:`~repro.core.buffering.BoundedBuffer` (TTL + capacity
   eviction, summary vectors);
-* :mod:`~repro.dtn.routing` — the baselines: direct-delivery, epidemic
-  (summary-vector dedup), binary spray-and-wait;
+* :mod:`~repro.dtn.routing` — the routers: direct-delivery, epidemic
+  (summary-vector dedup), binary spray-and-wait, and PRoPHET
+  (encounter-history delivery predictability with aging and
+  transitivity, shipped as control traffic);
 * :mod:`~repro.dtn.forwarder` — the event-driven forwarder
   (:class:`DtnOverlay`, wakes only at scheduled contact events) and the
   1 s polling oracle (:class:`PollingDtnOverlay`) it is benchmarked
   against;
+* :mod:`~repro.dtn.capacity` — the bandwidth-limited contact plane
+  (:class:`BandwidthDtnOverlay`): per-contact byte budgets priced from
+  predicted contact windows, ranked transmission queues, partial-
+  transfer resume and per-link in-flight accounting;
 * :mod:`~repro.dtn.traffic` — deterministic injection schedules for the
   experiment workloads.
 
 See docs/ARCHITECTURE.md ("Data plane (DTN)") for the event-flow
-diagram, the baseline comparison table and the plane's invariants.
+diagram, the baseline comparison table and the plane's invariants, and
+docs/DTN_GUIDE.md for the router decision table and the capacity-model
+math.
 """
 
 from repro.dtn.bundle import Bundle
+from repro.dtn.capacity import BandwidthDtnOverlay, ContactSession
 from repro.dtn.forwarder import (
     DeliveryRecord,
     DtnOverlay,
@@ -36,6 +45,7 @@ from repro.dtn.forwarder import (
 from repro.dtn.routing import (
     DirectDelivery,
     Epidemic,
+    Prophet,
     Router,
     SprayAndWait,
     make_router,
@@ -45,7 +55,9 @@ from repro.dtn.store import MessageStore
 from repro.dtn.traffic import Injection, generate_traffic, schedule_traffic
 
 __all__ = [
+    "BandwidthDtnOverlay",
     "Bundle",
+    "ContactSession",
     "DeliveryRecord",
     "DirectDelivery",
     "DtnOverlay",
@@ -54,6 +66,7 @@ __all__ = [
     "Injection",
     "MessageStore",
     "PollingDtnOverlay",
+    "Prophet",
     "Router",
     "SprayAndWait",
     "generate_traffic",

@@ -1,7 +1,13 @@
 """The store-carry-forward forwarder: custody exchange at contact events.
 
 The plane's mechanics live here, policy-free (routers supply policy,
-:mod:`repro.dtn.routing`).  Three classes:
+:mod:`repro.dtn.routing`; stateful routers additionally observe
+contacts through ``on_contact`` and ship ``control_bytes`` at every
+contact-open).  Transfers here are *instantaneous* — the
+infinite-contact-bandwidth baseline; the bandwidth-limited plane that
+schedules transfers within the contact window is
+:class:`repro.dtn.capacity.BandwidthDtnOverlay`, built on these same
+mechanics.  Three classes:
 
 * :class:`DtnPlane` — stores, bundle injection, the contact-synchronous
   exchange cascade, delivery bookkeeping.  Knows nothing about *how*
@@ -163,14 +169,21 @@ class DtnPlane:
     # contact bookkeeping (shared by both detection strategies)
     # ------------------------------------------------------------------
     def contact_up(self, a: str, b: str) -> None:
-        """A contact opened: record adjacency and equilibrate."""
+        """A contact opened: record adjacency and equilibrate.
+
+        The router observes the encounter first (``on_contact`` — the
+        PRoPHET predictability updates), then control traffic is
+        metered (summary vectors + router control vectors), then the
+        exchange cascade runs.  O(cluster) through the cascade.
+        """
         if a in self._dead or b in self._dead:
             return
         if a not in self.stores or b not in self.stores:
             return
         self._adjacent[a].add(b)
         self._adjacent[b].add(a)
-        self._charge_summary_vectors(a, b)
+        self.router.on_contact(a, b, self.sim.now)
+        self._charge_contact_control(a, b)
         self._exchange(a, b)
         self._exchange(b, a)
         self._cascade_from(a)
@@ -185,15 +198,25 @@ class DtnPlane:
         """Current contacts of ``node_id``, sorted."""
         return sorted(self._adjacent.get(node_id, ()))
 
-    def _charge_summary_vectors(self, a: str, b: str) -> None:
-        """Meter each side announcing its own summary vector.  O(seen)."""
+    def contact_control_bytes(self, sender: str, receiver: str) -> int:
+        """Control bytes ``sender`` ships when this contact opens.
+
+        Its summary vector (8 B per seen id) plus the router's own
+        control vector (:meth:`~repro.dtn.routing.Router.
+        control_bytes` — 0 for the stateless baselines, the
+        predictability table for PRoPHET).  O(seen).
+        """
+        return (SUMMARY_VECTOR_ID_BYTES
+                * len(self.stores[sender].summary_vector())
+                + self.router.control_bytes(sender, receiver))
+
+    def _charge_contact_control(self, a: str, b: str) -> None:
+        """Meter each side's contact-open control traffic.  O(seen)."""
         if self.meter is None:
             return
-        for node in (a, b):
-            self.meter.count(
-                node, "dtn-control",
-                SUMMARY_VECTOR_ID_BYTES
-                * len(self.stores[node].summary_vector()))
+        for sender, receiver in ((a, b), (b, a)):
+            self.meter.count(sender, "dtn-control",
+                             self.contact_control_bytes(sender, receiver))
 
     def _exchange(self, carrier: str, peer: str) -> bool:
         """One-directional offer pass; True if the peer's store grew."""

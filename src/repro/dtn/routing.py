@@ -1,14 +1,18 @@
-"""DTN routing baselines: direct-delivery, epidemic, spray-and-wait.
+"""DTN routers: direct-delivery, epidemic, spray-and-wait, PRoPHET.
 
 A router is the *policy* half of the store-carry-forward plane: given a
 contact between a carrier and a peer, it decides which of the carrier's
-bundles to transmit and what happens to custody afterwards.  The
-*mechanics* — stores, contact events, delivery bookkeeping — live in
-:mod:`repro.dtn.forwarder`; routers are stateless (all per-bundle state
-rides the bundle's ``copies`` field and the stores' summary vectors),
-so one router instance serves every node of a plane.
+bundles to transmit (and in what order — under bandwidth-limited
+contacts the order *is* the ranked transmission queue) and what happens
+to custody afterwards.  The *mechanics* — stores, contact events,
+transfer scheduling, delivery bookkeeping — live in
+:mod:`repro.dtn.forwarder` / :mod:`repro.dtn.capacity`.  One router
+instance serves every node of a plane; the three classics are stateless
+(all per-bundle state rides the bundle's ``copies`` field and the
+stores' summary vectors), while :class:`Prophet` keeps the per-node
+delivery-predictability tables that its control exchanges ship.
 
-The three classics, in increasing overhead:
+The baselines, in increasing overhead:
 
 ========================  ==========================================
 ``direct``                The source holds its bundle until it meets
@@ -21,16 +25,29 @@ The three classics, in increasing overhead:
                           ``floor(c/2)`` to a met peer; with one token
                           left it *waits* for the destination.
                           Bounded copies, most of epidemic's ratio.
+``prophet``               Probabilistic routing using the history of
+                          encounters and transitivity (Lindgren et
+                          al.): relay only to peers whose delivery
+                          predictability for the destination beats the
+                          carrier's own; predictability ages over time
+                          and propagates transitively.  Spends scarce
+                          contact bytes only on *productive* copies.
 ``epidemic``              Flood with summary-vector dedup (Vahdat &
                           Becker): every contact sends everything the
                           peer has never seen.  Upper-bounds delivery
-                          ratio and latency at maximal overhead.
+                          ratio under infinite bandwidth at maximal
+                          overhead — and *wastes* tight byte budgets
+                          on unproductive copies, which is exactly
+                          what ``benchmarks/bench_contact_capacity.py``
+                          measures against PRoPHET.
 ========================  ==========================================
 
-Transmission order within one contact is deterministic and shared by
-all routers (:func:`transmission_order`): bundles destined to the peer
-first, then oldest-first — the same lexicographic-policy pattern as the
-service plane's :func:`repro.core.routing.route_rank`.
+Transmission order within one contact is deterministic.  The classics
+share :func:`transmission_order` (bundles destined to the peer first,
+then oldest — the same lexicographic-policy pattern as the service
+plane's :func:`repro.core.routing.route_rank`); PRoPHET keeps the
+destined-first rule but ranks relay traffic by *descending* peer
+predictability, so the most deliverable copies cross the window first.
 """
 
 from __future__ import annotations
@@ -60,7 +77,14 @@ def transmission_order(bundles: typing.Iterable[Bundle],
 
 
 class Router:
-    """Base router: subclasses override the two policy decisions."""
+    """Base router: subclasses override the policy decisions.
+
+    ``offers`` / ``eligible`` / ``after_transmit`` decide what moves
+    and what custody becomes; ``on_contact`` / ``control_bytes`` let
+    stateful routers (PRoPHET) observe encounters and charge their
+    control traffic — the bandwidth-limited plane deducts those bytes
+    from the contact's budget before any data flows.
+    """
 
     #: Registry key (``settings["routers"]`` values in specs).
     name = "base"
@@ -71,7 +95,9 @@ class Router:
 
         ``peer_seen`` is the peer's summary vector; no router ever
         offers a bundle the peer has already seen (the dedup that keeps
-        ``DtnCounters.duplicates`` at zero).
+        ``DtnCounters.duplicates`` at zero).  The returned order is the
+        ranked transmission queue a bandwidth-limited contact drains
+        front-first.  O(n log n) in stored bundles.
         """
         eligible = [bundle for bundle in store.bundles()
                     if bundle.bundle_id not in peer_seen
@@ -93,6 +119,28 @@ class Router:
         if bundle.destination == peer_id:
             store.remove(bundle.bundle_id)
         return bundle
+
+    def on_contact(self, node_a: str, node_b: str, now: float) -> None:
+        """Observe a contact opening between two plane nodes.
+
+        Called by the forwarder once per contact-up, *before* any
+        exchange, with ``now`` in sim-seconds.  Stateless routers
+        ignore it; PRoPHET updates both nodes' predictability tables
+        here (encounter + transitivity).
+        """
+
+    def control_bytes(self, sender: str, receiver: str) -> int:
+        """Router control payload ``sender`` ships when a contact opens.
+
+        Bytes *beyond* the summary vectors — e.g. PRoPHET's
+        predictability vector.  Called once per direction.  The
+        infinite-bandwidth plane meters them as ``dtn-control``; the
+        bandwidth-limited plane additionally charges both directions
+        against the contact's byte budget, so chatty routing protocols
+        pay for their own gossip.  O(1) for the stateless baselines
+        (0 bytes).
+        """
+        return 0
 
 
 class DirectDelivery(Router):
@@ -145,14 +193,157 @@ class SprayAndWait(Router):
         return bundle.with_copies(given)
 
 
+class Prophet(Router):
+    """PRoPHET: probabilistic routing by encounter history (RFC 6693).
+
+    Each node keeps a **delivery predictability** ``P(node, dest) ∈
+    [0, 1)`` for every destination it has learned about.  Three update
+    rules, applied at contact instants (all state changes are
+    event-driven — nothing ages on a timer):
+
+    * **encounter** — meeting ``b`` directly:
+      ``P(a,b) ← P(a,b) + (1 − P(a,b)) · p_encounter``;
+    * **aging** — before any read/update at time ``t``:
+      ``P ← P · γ^(t − last_update)`` (lazy, per node);
+    * **transitivity** — having just met ``b``:
+      ``P(a,c) ← max(P(a,c), P(a,b) · P(b,c) · β)`` for every ``c`` in
+      ``b``'s table (both directions — the tables were just exchanged).
+
+    Forwarding is GRTR: relay a bundle to a peer only when the peer's
+    predictability for its destination *strictly beats* the carrier's
+    (delivery to the destination itself is always allowed); relays keep
+    the carrier's copy, like epidemic.  Relay traffic ranks by
+    descending peer predictability (destined bundles still first), so a
+    tight contact window carries the most deliverable copies first.
+
+    The tables are shipped at every contact as router control traffic
+    — :meth:`control_bytes` charges ``CONTROL_ENTRY_BYTES`` per table
+    entry in each direction, which the bandwidth-limited plane deducts
+    from the contact's byte budget (PRoPHET pays for its gossip).
+
+    One instance serves the whole plane (the tables live here, keyed by
+    node id).  All updates are deterministic functions of the contact
+    stream, so sweep output stays byte-identical across workers.
+    """
+
+    name = "prophet"
+
+    #: Bytes per (destination id, predictability) control-vector entry.
+    CONTROL_ENTRY_BYTES = 12
+
+    def __init__(self, p_encounter: float = 0.75, beta: float = 0.25,
+                 gamma: float = 0.98):
+        if not 0.0 < p_encounter < 1.0:
+            raise ValueError(
+                f"p_encounter must be in (0,1): {p_encounter}")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0,1]: {beta}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0,1]: {gamma}")
+        self.p_encounter = p_encounter
+        self.beta = beta
+        self.gamma = gamma
+        self._tables: dict[str, dict[str, float]] = {}
+        self._aged_at: dict[str, float] = {}
+
+    # -- table bookkeeping --------------------------------------------
+    def _table(self, node_id: str) -> dict[str, float]:
+        return self._tables.setdefault(node_id, {})
+
+    def _age(self, node_id: str, now: float) -> None:
+        """Lazy aging: decay the whole table to ``now``.  O(entries)."""
+        last = self._aged_at.get(node_id)
+        self._aged_at[node_id] = now
+        if last is None or now <= last:
+            return
+        factor = self.gamma ** (now - last)
+        table = self._table(node_id)
+        for dest in table:
+            table[dest] *= factor
+
+    def predictability(self, node_id: str, dest: str) -> float:
+        """``P(node, dest)`` as last aged; 0.0 for unknown pairs.  O(1)."""
+        return self._tables.get(node_id, {}).get(dest, 0.0)
+
+    def table_size(self, node_id: str) -> int:
+        """Entries in a node's predictability table (control cost).  O(1)."""
+        return len(self._tables.get(node_id, {}))
+
+    # -- router hooks --------------------------------------------------
+    def on_contact(self, node_a: str, node_b: str, now: float) -> None:
+        """Encounter + transitivity updates for both endpoints.
+
+        O(|table_a| + |table_b|).  Deterministic: tables iterate in
+        insertion order, and updates commute per destination (max).
+        """
+        self._age(node_a, now)
+        self._age(node_b, now)
+        table_a, table_b = self._table(node_a), self._table(node_b)
+        for table, peer in ((table_a, node_b), (table_b, node_a)):
+            old = table.get(peer, 0.0)
+            table[peer] = old + (1.0 - old) * self.p_encounter
+        # Transitivity over the *post-encounter* tables, both ways.
+        p_ab, p_ba = table_a[node_b], table_b[node_a]
+        for mine, theirs, p_link, me, other in (
+                (table_a, table_b, p_ab, node_a, node_b),
+                (table_b, table_a, p_ba, node_b, node_a)):
+            for dest, p_remote in list(theirs.items()):
+                if dest == me:
+                    continue
+                relayed = p_link * p_remote * self.beta
+                if relayed > mine.get(dest, 0.0):
+                    mine[dest] = relayed
+
+    def control_bytes(self, sender: str, receiver: str) -> int:
+        """The sender's predictability vector, 12 B per entry.  O(1)."""
+        return self.CONTROL_ENTRY_BYTES * self.table_size(sender)
+
+    # -- forwarding policy --------------------------------------------
+    def offers(self, store: "MessageStore", peer_id: str,
+               peer_seen: frozenset[str]) -> list[Bundle]:
+        """GRTR-eligible bundles, ranked most-deliverable-first.
+
+        Destined-to-peer bundles lead (oldest first); relays follow by
+        descending ``P(peer, destination)``, ties broken by creation
+        instant then bundle id.  O(n log n).
+        """
+        carrier = store.node_id
+        ranked = []
+        for bundle in store.bundles():
+            if bundle.bundle_id in peer_seen:
+                continue
+            if bundle.destination == peer_id:
+                ranked.append(((0, 0.0, bundle.created_at,
+                                bundle.bundle_id), bundle))
+                continue
+            p_peer = self.predictability(peer_id, bundle.destination)
+            if p_peer <= self.predictability(carrier, bundle.destination):
+                continue
+            ranked.append(((1, -p_peer, bundle.created_at,
+                            bundle.bundle_id), bundle))
+        ranked.sort(key=lambda pair: pair[0])
+        return [bundle for _key, bundle in ranked]
+
+    def eligible(self, bundle: Bundle, peer_id: str) -> bool:
+        """Unused: PRoPHET needs the carrier, so it overrides offers."""
+        raise NotImplementedError(
+            "Prophet ranks via offers(); eligible() has no carrier")
+
+
 def make_router(name: str, spray_copies: int = DEFAULT_SPRAY_COPIES
                 ) -> Router:
-    """Instantiate a baseline router by registry name."""
+    """Instantiate a router by registry name.
+
+    ``spray_copies`` only affects ``"spray"``.  A fresh instance per
+    plane — PRoPHET's tables must never be shared across planes.
+    """
     if name == DirectDelivery.name:
         return DirectDelivery()
     if name == Epidemic.name:
         return Epidemic()
     if name == SprayAndWait.name:
         return SprayAndWait(copies=spray_copies)
+    if name == Prophet.name:
+        return Prophet()
     raise KeyError(f"unknown DTN router {name!r}; known: "
-                   f"['direct', 'epidemic', 'spray']")
+                   f"['direct', 'epidemic', 'prophet', 'spray']")

@@ -14,10 +14,17 @@ adds what custody needs on top:
 * **summary vectors** — the epidemic-routing dedup set: ids this node
   currently carries *plus* ids it has already seen (received, relayed
   onward, or delivered as destination), so a contact never re-sends
-  what the peer already processed.
+  what the peer already processed;
+* **partial fragments** — receiver-side byte counts of transfers the
+  bandwidth-limited plane (:mod:`repro.dtn.capacity`) had to truncate
+  at a window edge.  The fragment belongs to the *receiver* (reactive
+  fragmentation, RFC 4838 flavour): any later custodian of the same
+  bundle can resume from the recorded offset, including after the
+  original sender died.
 
 All counts feed the plane-wide
-:class:`~repro.metrics.counters.DtnCounters`.
+:class:`~repro.metrics.counters.DtnCounters`.  Units: bytes,
+sim-seconds.
 """
 
 from __future__ import annotations
@@ -51,6 +58,9 @@ class MessageStore:
         #: Every bundle id this node has ever held or delivered — the
         #: summary-vector memory that prevents epidemic re-infection.
         self._seen: set[str] = set()
+        #: bundle id → bytes received so far of a truncated transfer
+        #: (the partial-resume ledger; cleared on completed custody).
+        self._partials: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -95,6 +105,31 @@ class MessageStore:
     def summary_vector(self) -> frozenset[str]:
         """The epidemic dedup set: carried ∪ previously-seen ids."""
         return frozenset(self._seen)
+
+    # ------------------------------------------------------------------
+    # partial fragments (bandwidth-limited transfers)
+    # ------------------------------------------------------------------
+    def partial_received(self, bundle_id: str) -> int:
+        """Bytes of ``bundle_id`` already received across truncated
+        transfers (0 when no fragment is held).  O(1)."""
+        return self._partials.get(bundle_id, 0)
+
+    def record_partial(self, bundle_id: str, received_bytes: int) -> int:
+        """Credit ``received_bytes`` more of a truncated transfer.
+
+        Returns the accumulated total.  Any custodian may contribute —
+        the fragment is keyed by bundle id, not by sender.  O(1);
+        negative credits raise.
+        """
+        if received_bytes < 0:
+            raise ValueError(f"negative credit: {received_bytes}")
+        total = self._partials.get(bundle_id, 0) + received_bytes
+        self._partials[bundle_id] = total
+        return total
+
+    def clear_partial(self, bundle_id: str) -> None:
+        """Forget a fragment (transfer completed or abandoned).  O(1)."""
+        self._partials.pop(bundle_id, None)
 
     # ------------------------------------------------------------------
     def add(self, bundle: Bundle, now: float) -> bool:
@@ -146,6 +181,7 @@ class MessageStore:
         """
         victims = self._buffer.drop_matching(lambda entry: True)
         self.counters.dropped_dead += len(victims)
+        self._partials.clear()   # fragments die with the node
         return [entry.item for entry in victims]
 
     def __repr__(self) -> str:

@@ -20,7 +20,9 @@ import typing
 from repro.scenarios import (
     Scenario,
     commuter_corridor,
+    crowded_festival,
     dense_plaza,
+    drive_by_kiosk,
     fig_3_3_coverage_exclusion,
     fig_3_6_dynamic_discovery,
     fig_3_9_quality_equity,
@@ -32,6 +34,7 @@ from repro.scenarios import (
     line_topology,
     random_disc,
     replay_arena,
+    rural_bus_dtn,
     sparse_highway,
     tunnel_topology,
 )
@@ -265,6 +268,45 @@ register_scenario(
         _TECHS,
     ),
     summary="static announcer amid a roaming crowd (broadcast traffic)")
+
+register_scenario(
+    "drive_by_kiosk", drive_by_kiosk,
+    params=(
+        Param("count", int, 6, "cars lapping the road"),
+        Param("road_length_m", float, 300.0, "kiosk–depot distance"),
+        Param("lane_offset_m", float, 6.0,
+              "lane's lateral offset from the terminals, metres"),
+        Param("speed_mps", float, 12.0, "car speed, metres/second"),
+        Param("headway_s", float, 20.0, "car start stagger, seconds"),
+        Param("laps", int, 4, "round trips per car before parking"),
+        _TECHS,
+    ),
+    summary=("seconds-long drive-by contacts; large bundles need "
+             "partial-transfer resume across laps"))
+
+register_scenario(
+    "crowded_festival", crowded_festival,
+    params=(
+        Param("count", int, 18, "roaming attendees"),
+        Param("area", float, 40.0, "side of the square, metres"),
+        _TECHS,
+    ),
+    summary=("dense broadcast crowd: window bytes, not reachability, "
+             "are the constraint"))
+
+register_scenario(
+    "rural_bus_dtn", rural_bus_dtn,
+    params=(
+        Param("count", int, 9, "villagers across all villages"),
+        Param("villages", int, 3, "static population clusters"),
+        Param("village_spacing_m", float, 80.0,
+              "metres between village centres"),
+        Param("dwell_s", float, 25.0, "bus dwell per stop, seconds"),
+        Param("cycles", int, 4, "bus route cycles before parking"),
+        _TECHS,
+    ),
+    summary=("partitioned villages served by one bus; each dwell "
+             "prices the village uplink in bytes"))
 
 register_scenario(
     "flash_crowd", flash_crowd,

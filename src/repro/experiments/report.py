@@ -4,10 +4,12 @@ Records from the runner are grouped by configuration — (workload,
 scenario, canonicalised params) — and every numeric metric is folded
 across the group's repeats into a :class:`repro.metrics.stats.Summary`
 (mean, 95% CI half-width, extremes).  Output renders through the shared
-:mod:`repro.metrics.tables` helpers: an aligned table for terminals and
-long-format CSV (one row per configuration × metric) for downstream
-tooling.  All orderings are sorted, so aggregate output inherits the
-runner's byte-for-byte determinism.
+:mod:`repro.metrics.tables` helpers: an aligned table for terminals
+(numeric columns right-aligned; a missing measurement renders as ``—``,
+never as the string ``None``) and long-format CSV (one row per
+configuration × metric) for downstream tooling.  All orderings are
+sorted, so aggregate output inherits the runner's byte-for-byte
+determinism.
 
 Mixed inputs are first-class: a ``runs.jsonl`` concatenated from
 several specs may hold rows with *disjoint metric schemas* (DTN runs

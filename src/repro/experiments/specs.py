@@ -114,6 +114,28 @@ register_spec(ExperimentSpec(
     description=("DTN delivery ratio/latency/overhead: direct vs "
                  "epidemic vs spray-and-wait on partitioned worlds")))
 
+#: The bandwidth-limited campaign: routers compared where contact
+#: *duration* prices the byte budget.  Contacts run at a constrained
+#: 24 kB/s effective rate moving 200 kB bundles (the §6 picture
+#: payload), so each bus dwell carries only a handful of bundles per
+#: villager — the regime where epidemic flooding wastes window bytes
+#: and PRoPHET's predictability ranking pays.  The capacity bench
+#: gates "PRoPHET ≥ epidemic on delivery ratio" on every run of this
+#: grid.
+register_spec(ExperimentSpec(
+    name="bandwidth_sweep",
+    workload="dtn_bandwidth",
+    scenarios=("rural_bus_dtn",),
+    axes={"count": (9, 12), "dwell_s": (20.0, 30.0)},
+    repeats=2,
+    master_seed=170,
+    settings={"duration_s": 600.0, "messages": 24, "ttl_s": 480.0,
+              "size_bytes": 200_000, "rate_Bps": 24_000.0,
+              "routers": ("epidemic", "spray", "prophet"),
+              "spray_copies": 6},
+    description=("bandwidth-limited DTN delivery: epidemic vs spray vs "
+                 "PRoPHET under per-contact byte budgets")))
+
 #: The production-scale gate: grid vs pairwise discovery at growing N.
 register_spec(ExperimentSpec(
     name="scale_sweep",

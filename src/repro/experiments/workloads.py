@@ -29,6 +29,7 @@ from repro.core.config import HandoverConfig
 from repro.core.errors import ConnectionClosedError, PeerHoodError
 from repro.core.handover import HandoverThread
 from repro.dtn import (
+    BandwidthDtnOverlay,
     DtnOverlay,
     generate_traffic,
     make_router,
@@ -365,16 +366,63 @@ def trace_replay(point: RunPoint) -> Metrics:
 # ----------------------------------------------------------------------
 # dtn: store-carry-forward delivery under each routing baseline
 # ----------------------------------------------------------------------
+#: Terminal pairs the ``auto`` pattern recognises, in checking order.
+_ENDPOINT_PAIRS = (("home", "work"), ("kiosk", "depot"))
+
+
 def _resolve_pattern(pattern: str, nodes: typing.Sequence[str]) -> str:
     """``"auto"`` picks the pattern the scenario was built for."""
     if pattern != "auto":
         return pattern
     names = set(nodes)
-    if {"home", "work"} <= names:
-        return "endpoints"
+    for pair in _ENDPOINT_PAIRS:
+        if set(pair) <= names:
+            return "endpoints"
     if "source" in names:
         return "broadcast"
     return "uniform"
+
+
+def _pattern_endpoints(nodes: typing.Sequence[str]
+                       ) -> tuple[str, str] | None:
+    """The named terminal pair for the ``endpoints`` pattern, if any."""
+    names = set(nodes)
+    for pair in _ENDPOINT_PAIRS:
+        if set(pair) <= names:
+            return pair
+    return None
+
+
+def _paired_router_run(point: RunPoint, router_name: str, make_plane,
+                       *, spray_copies: int, duration_s: float,
+                       messages: int, ttl_s: float, size_bytes: int,
+                       pattern: str, inject_start: float,
+                       inject_end: float):
+    """One router's leg of a paired DTN comparison.
+
+    Shared by the ``dtn`` and ``dtn_bandwidth`` workloads: rebuild the
+    point's scenario with the *same* seed (identical node paths),
+    replay the *same* deterministic injection schedule through a fresh
+    plane built by ``make_plane(scenario, router)``, run to
+    ``duration_s`` and detach.  Returns
+    ``(scenario, plane, nodes, resolved_pattern)``.
+    """
+    scenario = build_scenario(point.scenario, point.seed, point.params)
+    plane = make_plane(scenario,
+                       make_router(router_name,
+                                   spray_copies=spray_copies))
+    nodes = plane.live_nodes()
+    resolved = _resolve_pattern(pattern, nodes)
+    injections = generate_traffic(
+        scenario.sim.rng("dtn/traffic"), nodes, resolved, messages,
+        window=(inject_start, inject_end), size_bytes=size_bytes,
+        ttl_s=ttl_s, source="source" if "source" in nodes else None,
+        endpoints=_pattern_endpoints(nodes)
+        if resolved == "endpoints" else None)
+    schedule_traffic(plane, injections)
+    scenario.run(until=duration_s)
+    plane.detach()
+    return scenario, plane, nodes, resolved
 
 
 @register_workload("dtn")
@@ -413,23 +461,16 @@ def dtn_delivery(point: RunPoint) -> Metrics:
                                           duration_s / 2.0))
     metrics: Metrics = {}
     for router_name in routers:
-        scenario = build_scenario(point.scenario, point.seed, point.params)
-        plane = DtnOverlay(scenario.world,
-                           make_router(router_name,
-                                       spray_copies=spray_copies),
-                           tech=tech, capacity_bytes=capacity,
-                           policy=policy, meter=scenario.meter)
-        nodes = plane.live_nodes()
-        resolved = _resolve_pattern(pattern, nodes)
-        injections = generate_traffic(
-            scenario.sim.rng("dtn/traffic"), nodes, resolved, messages,
-            window=(inject_start, inject_end), size_bytes=size_bytes,
-            ttl_s=ttl_s, source="source" if "source" in nodes else None,
-            endpoints=("home", "work") if resolved == "endpoints"
-            else None)
-        schedule_traffic(plane, injections)
-        scenario.run(until=duration_s)
-        plane.detach()
+        scenario, plane, nodes, resolved = _paired_router_run(
+            point, router_name,
+            lambda scenario, router: DtnOverlay(
+                scenario.world, router, tech=tech,
+                capacity_bytes=capacity, policy=policy,
+                meter=scenario.meter),
+            spray_copies=spray_copies, duration_s=duration_s,
+            messages=messages, ttl_s=ttl_s, size_bytes=size_bytes,
+            pattern=pattern, inject_start=inject_start,
+            inject_end=inject_end)
         latencies = plane.latencies()
         counters = plane.counters
         metrics.update({
@@ -446,6 +487,85 @@ def dtn_delivery(point: RunPoint) -> Metrics:
             f"{router_name}_duplicates": counters.duplicates,
             f"{router_name}_expired": counters.expired,
             f"{router_name}_evicted": counters.evicted,
+        })
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# dtn_bandwidth: routers compared under bandwidth-limited contacts
+# ----------------------------------------------------------------------
+@register_workload("dtn_bandwidth")
+def dtn_bandwidth(point: RunPoint) -> Metrics:
+    """Paired router comparison under finite contact byte budgets.
+
+    The same paired design as the ``dtn`` workload — every router in
+    ``settings["routers"]`` re-runs identical mobility and identical
+    injections — but through the bandwidth-limited
+    :class:`~repro.dtn.capacity.BandwidthDtnOverlay`: contacts carry at
+    most ``window × data_rate`` bytes, transfers are ranked, serialised
+    and resumable, and router control traffic (PRoPHET's predictability
+    vectors) eats into every budget.  This is the workload behind the
+    ``bandwidth_sweep`` spec and the "PRoPHET ≥ epidemic under
+    constrained bandwidth" gate in
+    ``benchmarks/bench_contact_capacity.py``.
+
+    ``settings`` (beyond the ``dtn`` workload's): ``rate_Bps`` (0 =
+    the technology's own :attr:`~repro.radio.technologies.Technology.
+    data_rate_Bps`; any positive value prices contacts at an explicit
+    constrained rate), ``size_bytes`` defaults to 200 kB (camera
+    pictures, the §6 migration payload) and ``routers`` to
+    ``("epidemic", "spray", "prophet")``.
+    """
+    duration_s = float(point.settings.get("duration_s", 600.0))
+    messages = int(point.settings.get("messages", 24))
+    ttl_s = float(point.settings.get("ttl_s", 480.0))
+    size_bytes = int(point.settings.get("size_bytes", 200_000))
+    routers = list(point.settings.get(
+        "routers", ("epidemic", "spray", "prophet")))
+    spray_copies = int(point.settings.get("spray_copies", 6))
+    capacity = int(point.settings.get("capacity_bytes", 0)) or None
+    policy = str(point.settings.get("policy", "oldest"))
+    pattern = str(point.settings.get("pattern", "auto"))
+    tech = str(point.settings.get("tech", "bluetooth"))
+    rate_Bps = float(point.settings.get("rate_Bps", 0.0)) or None
+    inject_start = float(point.settings.get("inject_start_s", 120.0))
+    inject_end = float(point.settings.get("inject_end_s",
+                                          duration_s / 2.0))
+    metrics: Metrics = {}
+    for router_name in routers:
+        scenario, plane, nodes, resolved = _paired_router_run(
+            point, router_name,
+            lambda scenario, router: BandwidthDtnOverlay(
+                scenario.world, router, tech=tech,
+                capacity_bytes=capacity, policy=policy,
+                meter=scenario.meter, data_rate_Bps=rate_Bps),
+            spray_copies=spray_copies, duration_s=duration_s,
+            messages=messages, ttl_s=ttl_s, size_bytes=size_bytes,
+            pattern=pattern, inject_start=inject_start,
+            inject_end=inject_end)
+        latencies = plane.latencies()
+        counters = plane.counters
+        metrics.update({
+            "nodes": len(nodes),
+            "pattern_" + resolved: 1,
+            "created": counters.created,
+            "rate_Bps": plane.data_rate_Bps,
+            f"{router_name}_delivery_ratio": plane.delivery_ratio(),
+            f"{router_name}_delivered": counters.delivered,
+            f"{router_name}_latency_mean":
+                statistics.fmean(latencies) if latencies else None,
+            f"{router_name}_transmissions": counters.transmissions,
+            f"{router_name}_overhead": plane.overhead_ratio(),
+            f"{router_name}_wakeups": plane.wakeups,
+            f"{router_name}_bytes_offered": counters.bytes_offered,
+            f"{router_name}_bytes_transferred":
+                counters.bytes_transferred,
+            f"{router_name}_transfers_truncated":
+                counters.transfers_truncated,
+            f"{router_name}_transfers_cancelled":
+                counters.transfers_cancelled,
+            f"{router_name}_control_bytes":
+                scenario.meter.bytes(category="dtn-control"),
         })
     return metrics
 

@@ -68,10 +68,11 @@ class DtnCounters:
     """Store-carry-forward data-plane activity (:mod:`repro.dtn`).
 
     One instance per :class:`~repro.dtn.forwarder.DtnPlane`; the DTN
-    benchmarks and the ``dtn`` workload read these.  All counts are
-    bundle copies, not bytes (byte volume rides the shared
-    :class:`TrafficMeter` under the ``dtn-data`` / ``dtn-control``
-    categories).
+    benchmarks and the ``dtn`` / ``dtn_bandwidth`` workloads read
+    these.  Counts are bundle copies except the ``bytes_*`` pair, which
+    meters the bandwidth-limited data plane's byte flow (per-node byte
+    volume additionally rides the shared :class:`TrafficMeter` under
+    the ``dtn-data`` / ``dtn-control`` categories).
 
     Attributes
     ----------
@@ -93,6 +94,23 @@ class DtnCounters:
     dropped_dead:
         Copies lost because their custodian was powered off / removed
         mid-carry (the churn path; never delivered post-mortem).
+    bytes_offered:
+        Bytes the routers *wanted* to move when a bandwidth-limited
+        contact opened (sum of the remaining sizes of both directions'
+        offers — see :mod:`repro.dtn.capacity`).  Compared against
+        ``bytes_transferred`` this is the capacity-pressure gauge.
+    bytes_transferred:
+        Bundle-payload bytes actually moved over bandwidth-limited
+        contacts (partial legs included).  Never exceeds any contact's
+        ``window_duration × data_rate`` byte budget (property-tested).
+    transfers_truncated:
+        Transfers cut short by the contact window — either the byte
+        budget ran out mid-bundle or the LinkDown instant arrived with
+        the bundle still in flight.  The received prefix is kept by the
+        peer's store for partial-transfer resume.
+    transfers_cancelled:
+        In-flight transfers killed by churn: an endpoint was powered
+        off / removed mid-transfer.  Nothing is credited.
     """
 
     created: int = 0
@@ -102,6 +120,10 @@ class DtnCounters:
     expired: int = 0
     evicted: int = 0
     dropped_dead: int = 0
+    bytes_offered: int = 0
+    bytes_transferred: int = 0
+    transfers_truncated: int = 0
+    transfers_cancelled: int = 0
 
     def reset(self) -> None:
         """Zero all counters (between benchmark rounds)."""
@@ -112,6 +134,10 @@ class DtnCounters:
         self.expired = 0
         self.evicted = 0
         self.dropped_dead = 0
+        self.bytes_offered = 0
+        self.bytes_transferred = 0
+        self.transfers_truncated = 0
+        self.transfers_cancelled = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict snapshot for JSON benchmark artifacts."""
@@ -123,6 +149,10 @@ class DtnCounters:
             "expired": self.expired,
             "evicted": self.evicted,
             "dropped_dead": self.dropped_dead,
+            "bytes_offered": self.bytes_offered,
+            "bytes_transferred": self.bytes_transferred,
+            "transfers_truncated": self.transfers_truncated,
+            "transfers_cancelled": self.transfers_cancelled,
         }
 
 

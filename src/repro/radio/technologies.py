@@ -12,7 +12,13 @@ depend on:
   (§4.3), i.e. ~16 % per link (1 − √0.7);
 * inquiry behaviour — Bluetooth discovery is *asymmetric*: a device that is
   scanning is itself undiscoverable (§3.4.2, ref. [4]), which inflates the
-  multi-hop change-notification delay (Fig. 3.10).
+  multi-hop change-notification delay (Fig. 3.10);
+* data rate — ``bitrate_bps`` (byte form :attr:`Technology.data_rate_Bps`)
+  bounds what one contact window can carry: the bandwidth-limited DTN
+  plane computes every contact's byte budget as
+  :meth:`Technology.contact_capacity_bytes` of the predicted window.
+
+Units: metres, seconds, bits/bytes per second as named.
 """
 
 from __future__ import annotations
@@ -93,11 +99,45 @@ class Technology:
         """One full device-searching cycle (scan + idle), Fig. 3.10."""
         return self.inquiry_duration_s + self.inquiry_interval_s
 
+    @property
+    def data_rate_Bps(self) -> float:
+        """Effective payload data rate in **bytes per second**.
+
+        The byte-budget form of ``bitrate_bps`` — the rate the
+        bandwidth-limited DTN contact plane (:mod:`repro.dtn.capacity`)
+        schedules transfers against.  O(1).
+        """
+        return self.bitrate_bps / 8.0
+
     def transmit_time(self, size_bytes: int) -> float:
-        """Seconds to push ``size_bytes`` onto the air at this bitrate."""
+        """Seconds to push ``size_bytes`` onto the air at this bitrate.
+
+        ``base_latency_s`` is charged once per message (framing +
+        turnaround), then the payload streams at ``bitrate_bps``.
+        O(1); raises on negative sizes.
+        """
         if size_bytes < 0:
             raise ValueError(f"negative message size: {size_bytes}")
         return self.base_latency_s + (size_bytes * 8.0) / self.bitrate_bps
+
+    def contact_capacity_bytes(self, window_s: float,
+                               rate_Bps: float | None = None) -> int:
+        """Byte budget of one contact lasting ``window_s`` sim-seconds.
+
+        The capacity model of the bandwidth-limited data plane — the
+        *single* budget formula, also used by
+        :class:`repro.dtn.capacity.BandwidthDtnOverlay`:
+        ``⌊window × rate⌋`` with ``rate`` defaulting to this
+        technology's :attr:`data_rate_Bps` (``rate_Bps`` overrides it
+        for constrained-regime sweeps).  An *upper bound* on what any
+        pair can exchange while their coverage disks overlap
+        (per-message ``base_latency_s`` only shrinks the achievable
+        volume further).  Non-positive windows yield 0.  O(1).
+        """
+        if window_s <= 0:
+            return 0
+        rate = self.data_rate_Bps if rate_Bps is None else rate_Bps
+        return int(window_s * rate)
 
 
 #: Bluetooth 2.0-era class 2 radio, calibrated from the thesis' measurements.

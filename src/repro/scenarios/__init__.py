@@ -10,12 +10,21 @@ churn) that stresses the spatial-grid discovery path at hundreds of
 nodes.  :mod:`~repro.scenarios.dtn` is the store-carry-forward family
 (commuter corridor, island-hopping ferry, flash-crowd broadcast) where
 some endpoint pairs are never simultaneously connected and delivery
-must ride a moving custodian.  :mod:`~repro.scenarios.traces` records
+must ride a moving custodian.  :mod:`~repro.scenarios.bandwidth` is
+the rate-constrained family (drive-by kiosk, crowded festival, rural
+bus) where contact *duration* prices the byte budget the
+bandwidth-limited data plane schedules against.
+:mod:`~repro.scenarios.traces` records
 the connectivity-event stream as a JSONL contact trace and replays it
 as a mobility-free workload (:func:`replay_arena` is its registered
 arena scenario).
 """
 
+from repro.scenarios.bandwidth import (
+    crowded_festival,
+    drive_by_kiosk,
+    rural_bus_dtn,
+)
 from repro.scenarios.builder import Scenario
 from repro.scenarios.dtn import (
     commuter_corridor,
@@ -53,7 +62,9 @@ from repro.scenarios.topologies import (
 __all__ = [
     "Scenario",
     "commuter_corridor",
+    "crowded_festival",
     "dense_plaza",
+    "drive_by_kiosk",
     "fig_3_3_coverage_exclusion",
     "fig_3_6_dynamic_discovery",
     "fig_3_9_quality_equity",
@@ -65,6 +76,7 @@ __all__ = [
     "line_topology",
     "random_disc",
     "replay_arena",
+    "rural_bus_dtn",
     "sparse_highway",
     "tunnel_topology",
 ]

@@ -1,0 +1,83 @@
+"""Tests for tools/check_links.py (the `make docs-check` gate).
+
+Covers the slugifier, cross-file and *intra-doc* anchor validation,
+and the duplicate-anchor rule (two headings slugifying identically are
+an error — every link to that slug would be ambiguous).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_TOOL = (pathlib.Path(__file__).resolve().parent.parent
+         / "tools" / "check_links.py")
+_spec = importlib.util.spec_from_file_location("check_links", _TOOL)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+@pytest.fixture
+def doc_root(tmp_path, monkeypatch):
+    """A throwaway repo root so escape checks accept tmp files."""
+    monkeypatch.setattr(check_links, "REPO_ROOT", tmp_path)
+    check_links.heading_slugs.cache_clear()   # paths are per-test
+    return tmp_path
+
+
+def test_slugify_matches_github_style():
+    assert check_links.slugify("Heading One") == "heading-one"
+    assert check_links.slugify("`code` & *stars*!") == "code--stars"
+    assert check_links.slugify("Data plane (DTN)") == "data-plane-dtn"
+
+
+def test_same_file_anchor_links_are_validated(doc_root):
+    page = doc_root / "page.md"
+    page.write_text("# Top\n\n[ok](#top)\n[bad](#missing)\n",
+                    encoding="utf-8")
+    problems = check_links.check_file(page)
+    assert len(problems) == 1
+    assert "no heading for anchor: #missing" in problems[0]
+
+
+def test_cross_file_anchor_and_missing_target(doc_root):
+    target = doc_root / "target.md"
+    target.write_text("## Real Section\n", encoding="utf-8")
+    page = doc_root / "page.md"
+    page.write_text("[ok](target.md#real-section)\n"
+                    "[bad anchor](target.md#ghost)\n"
+                    "[bad file](absent.md)\n", encoding="utf-8")
+    problems = check_links.check_file(page)
+    assert any("no heading for anchor: target.md#ghost" in p
+               for p in problems)
+    assert any("missing target: absent.md" in p for p in problems)
+    assert len(problems) == 2
+
+
+def test_duplicate_anchors_fail(doc_root):
+    page = doc_root / "dup.md"
+    page.write_text("# Setup\n\ntext\n\n## Setup\n\n### Other\n",
+                    encoding="utf-8")
+    assert check_links.duplicate_anchors(page) == ["setup"]
+    problems = check_links.check_file(page)
+    assert problems == ["dup.md: duplicate anchor: #setup"]
+
+
+def test_unique_anchors_pass(doc_root):
+    page = doc_root / "ok.md"
+    page.write_text("# A\n\n## B\n\n[x](#a) [y](#b)\n", encoding="utf-8")
+    assert check_links.duplicate_anchors(page) == []
+    assert check_links.check_file(page) == []
+
+
+def test_links_escaping_the_repo_are_flagged(doc_root):
+    page = doc_root / "page.md"
+    page.write_text("[out](../outside.md)\n", encoding="utf-8")
+    problems = check_links.check_file(page)
+    assert len(problems) == 1
+    assert "escapes the repo" in problems[0]
+
+
+def test_repo_docs_are_clean():
+    """The live docs must pass their own gate (anchors + duplicates)."""
+    assert check_links.main() == 0

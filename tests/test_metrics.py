@@ -184,11 +184,53 @@ def test_format_table_aligns_columns():
     text = format_table("T", ["name", "v"], [["a", 1], ["long-name", 22]])
     lines = text.strip().split("\n")
     assert lines[0] == "== T =="
-    # Both value cells start at the same column: the name column is
-    # padded to the widest cell ("long-name"), not just the header.
+    # The name column is padded to its widest cell ("long-name"), and
+    # the numeric v column right-aligns: both value cells END at the
+    # same column.
     row_a, row_long = lines[-2], lines[-1]
-    assert row_a.index("1") == row_long.index("22")
+    assert len(row_a) == len(row_long)
+    assert row_a.endswith(" 1")
+    assert row_long.endswith("22")
     assert row_a.index("1") > len("long-name")
+
+
+def test_format_table_right_aligns_numeric_columns_only():
+    text = format_table("T", ["metric", "n"],
+                        [["delivery", 7], ["latency_mean", 123]])
+    rows = text.strip().split("\n")[-2:]
+    # Numeric header + cells are right-justified against the widest.
+    header = text.strip().split("\n")[1]
+    assert header.endswith("  n")
+    assert rows[0].endswith("    7")
+    assert rows[1].endswith("  123")
+    # The text column stays left-aligned.
+    assert rows[0].startswith("delivery ")
+
+
+def test_format_table_renders_none_as_em_dash():
+    text = format_table("T", ["metric", "value"],
+                        [["latency", None], ["ratio", 0.5]])
+    assert "None" not in text
+    assert "—" in text
+    # A None-bearing column with at least one number still counts as
+    # numeric and right-aligns.
+    rows = text.strip().split("\n")[-2:]
+    assert rows[0].endswith("    —")
+    assert rows[1].endswith("  0.5")
+
+
+def test_format_table_mixed_column_stays_left_aligned():
+    text = format_table("T", ["k", "v"], [["a", "fast"], ["b", 3]])
+    rows = text.strip().split("\n")[-2:]
+    # One string cell makes the column textual: left alignment.
+    assert rows[1].startswith("b  3")
+
+
+def test_format_table_tolerates_short_rows():
+    # A row narrower than the header list renders ragged, as it
+    # always did — the alignment pass must not index past its end.
+    text = format_table("T", ["a", "b"], [["x"], ["y", 2]])
+    assert "x" in text and "2" in text
 
 
 def test_render_csv_quotes_and_none():

@@ -6,9 +6,13 @@ docs/ for inline links `[text](target)` and validates the *repo-local*
 ones:
 
 * relative file targets must exist (resolved against the linking file);
-* `#anchor` fragments pointing at Markdown files must match a heading
-  in the target file (GitHub-style slugs: lowercase, punctuation
-  stripped, spaces to dashes);
+* `#anchor` fragments — both cross-file (`FILE.md#anchor`) and
+  intra-doc (`#anchor`) — must match a heading in the target file
+  (GitHub-style slugs: lowercase, punctuation stripped, spaces to
+  dashes);
+* duplicate anchors are an error: two headings in one file slugifying
+  identically make every link to that slug ambiguous (GitHub silently
+  renames the second to `slug-1` — house style is unique headings);
 * absolute URLs (http/https/mailto) are out of scope — CI must not
   flake on the network.
 
@@ -18,6 +22,7 @@ link otherwise.  Stdlib only (the container bakes in no extra deps).
 
 from __future__ import annotations
 
+import functools
 import pathlib
 import re
 import sys
@@ -44,18 +49,42 @@ def slugify(heading: str) -> str:
     return text.replace(" ", "-")
 
 
+@functools.lru_cache(maxsize=None)
+def heading_slugs(path: pathlib.Path) -> tuple[str, ...]:
+    """Every heading slug in a Markdown file, in document order.
+
+    Cached per path: a README with N anchor links into one target
+    parses that target once, not N times.
+    """
+    return tuple(slugify(match.group(1))
+                 for match in HEADING_RE.finditer(
+                     path.read_text(encoding="utf-8")))
+
+
 def anchors_of(path: pathlib.Path) -> set[str]:
     """Every heading slug in a Markdown file."""
-    return {slugify(match.group(1))
-            for match in HEADING_RE.finditer(
-                path.read_text(encoding="utf-8"))}
+    return set(heading_slugs(path))
+
+
+def duplicate_anchors(path: pathlib.Path) -> list[str]:
+    """Heading slugs appearing more than once, in first-seen order."""
+    seen: set[str] = set()
+    duplicates: list[str] = []
+    for slug in heading_slugs(path):
+        if slug in seen and slug not in duplicates:
+            duplicates.append(slug)
+        seen.add(slug)
+    return duplicates
 
 
 def check_file(path: pathlib.Path) -> list[str]:
-    """Broken-link descriptions for one Markdown file."""
+    """Broken-link and duplicate-anchor descriptions for one file."""
     problems = []
     text = path.read_text(encoding="utf-8")
     relative_name = path.relative_to(REPO_ROOT)
+    for slug in duplicate_anchors(path):
+        problems.append(
+            f"{relative_name}: duplicate anchor: #{slug}")
     for match in LINK_RE.finditer(text):
         target = match.group(1)
         if target.startswith(SKIP_PREFIXES):
