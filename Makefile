@@ -2,11 +2,13 @@
 # package lives under src/, so every python invocation sets PYTHONPATH.
 #
 #   make test         tier-1 test suite (unit + integration + property)
+#   make test-all     tier-1 plus the @pytest.mark.slow tier
 #   make bench        every paper-reproduction + scale benchmark
 #   make bench-scale  just the spatial-grid scale benchmark (fast)
 #   make bench-events just the event-driven handover benchmark (fast)
 #   make bench-dtn    just the DTN delivery/wakeup benchmark
 #   make bench-capacity  just the bandwidth-limited contact benchmark
+#   make bench-fault  just the fault-injection differential benchmark
 #   make sweep        run the demo_sweep experiment campaign (4 workers)
 #   make dtn-sweep    run the DTN routing-baseline campaign (4 workers)
 #   make bandwidth-sweep  run the bandwidth-limited DTN campaign
@@ -19,11 +21,18 @@ export PYTHONPATH := src
 
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
-.PHONY: test bench bench-scale bench-events bench-dtn bench-capacity \
-        sweep dtn-sweep bandwidth-sweep lint docs-check quickstart
+.PHONY: test test-all bench bench-scale bench-events bench-dtn \
+        bench-capacity bench-fault sweep dtn-sweep bandwidth-sweep \
+        lint docs-check quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Everything, including the @pytest.mark.slow tier that tier-1
+# deselects (pyproject's addopts): the hypothesis fault-determinism
+# properties and any other long-running fuzzing.
+test-all:
+	$(PYTHON) -m pytest -x -q -m "slow or not slow"
 
 bench:
 	$(PYTHON) -m pytest $(BENCHES) -q -s
@@ -49,6 +58,13 @@ bench-dtn:
 # small).
 bench-capacity:
 	$(PYTHON) -m pytest benchmarks/bench_contact_capacity.py -q -s
+
+# Fault-injection differential gates: zero-rate identity, monotone
+# degradation, redundancy-beats-direct, 1-vs-2-worker determinism
+# (writes BENCH_fault_tolerance.json).  BENCH_FAULT_REPEATS shrinks
+# the sweep's repeat count (the CI bench-smoke job uses 1).
+bench-fault:
+	$(PYTHON) -m pytest benchmarks/bench_fault_tolerance.py -q -s
 
 # The reference experiment campaign: 24 runs (2 scenarios x 2 node
 # counts x 2 radio mixes x 3 repeats) -> results/demo_sweep/.  Output

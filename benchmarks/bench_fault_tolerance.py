@@ -1,0 +1,170 @@
+"""Fault-tolerance gates: the fault plane is inert at zero and graceful on.
+
+Backs the PR 6 fault-injection plane (:mod:`repro.faults`).  Four
+gates, all written into ``BENCH_fault_tolerance.json`` at the repo
+root:
+
+1. **Zero-rate identity** — a ``dtn_faults`` run on the commuter
+   corridor with every fault parameter at zero must produce metrics
+   byte-identical (over the keys the two workloads share) to a plain
+   ``dtn`` run of the same scenario, seed and settings.  Zero rates
+   install no :class:`~repro.faults.FaultPlane` at all, so the fault
+   code path costs nothing and perturbs nothing when unused.
+2. **Monotone degradation** — across the bundled ``fault_sweep``
+   (the hostile corridor swept over ``crash_rate``), every router's
+   mean delivery ratio must be non-increasing as the crash-reboot rate
+   rises.  Killing more custodians mid-carry can only hurt.
+3. **Redundancy beats direct under crashes** — at ``crash_rate`` 0.2
+   the multi-copy (spray) and predictive (PRoPHET) routers must hold a
+   mean delivery ratio at least direct-delivery's: single-custodian
+   delivery has no fallback when its one carrier dies.
+4. **Worker-count determinism** — the sweep's ``runs.jsonl`` and
+   aggregate CSV bytes must match between 1 and 2 workers; fault
+   schedules ride named RNG sub-streams, so the determinism contract
+   extends to fault-injected campaigns.
+
+``BENCH_FAULT_REPEATS`` shrinks the sweep's repeat count in CI.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+
+from repro.experiments.report import aggregate, write_csv
+from repro.experiments.runner import run_spec, write_jsonl
+from repro.experiments.spec import RunPoint
+from repro.experiments.specs import get_spec
+from repro.experiments.workloads import get_workload
+from repro.scenarios import commuter_corridor
+
+from paperbench import print_table
+
+SNAPSHOT_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "BENCH_fault_tolerance.json")
+
+#: Sweep repeats; CI shrinks via the environment (spec default is 3).
+REPEATS = int(os.environ.get("BENCH_FAULT_REPEATS", "0")) or None
+#: Mean-delivery comparisons tolerate only float noise, not regressions.
+EPS = 1e-9
+
+#: Shared settings for the zero-rate identity legs: both workloads must
+#: see the same routers and pattern or their metrics could not match.
+_IDENTITY_SETTINGS = {
+    "duration_s": 480.0, "messages": 14, "ttl_s": 300.0,
+    "routers": ("direct", "spray", "prophet"), "spray_copies": 6,
+    "pattern": "uniform",
+}
+
+
+def _identity_point(workload: str) -> RunPoint:
+    """A commuter-corridor run point; only ``workload`` varies."""
+    return RunPoint(
+        spec="fault_identity", workload=workload, index=0,
+        scenario="commuter_corridor", params={}, repeat=0, seed=977,
+        settings=dict(_IDENTITY_SETTINGS))
+
+
+def run_zero_rate_identity():
+    """Gate 1: zero fault params ≡ the fault-free workload, bytewise."""
+    # Zero rates must install no plane at all — the fault-free code
+    # path, not a plane that happens to schedule nothing.
+    assert commuter_corridor(seed=977).world.faults is None
+    plain = get_workload("dtn")(_identity_point("dtn"))
+    faulted = get_workload("dtn_faults")(_identity_point("dtn_faults"))
+    shared = sorted(set(plain) & set(faulted))
+    plain_bytes = json.dumps({k: plain[k] for k in shared},
+                             sort_keys=True)
+    faulted_bytes = json.dumps({k: faulted[k] for k in shared},
+                               sort_keys=True)
+    assert plain_bytes == faulted_bytes, (
+        f"zero-rate dtn_faults diverged from dtn over {shared}:\n"
+        f"  dtn:        {plain_bytes}\n  dtn_faults: {faulted_bytes}")
+    assert faulted["fault_events"] == 0
+    return {"shared_keys": len(shared), "identical": True}
+
+
+def run_sweep(tmp_dir: pathlib.Path):
+    """Gate 4: fault_sweep at 1 and 2 workers; returns the records."""
+    spec = get_spec("fault_sweep")
+    if REPEATS is not None:
+        spec = dataclasses.replace(spec, repeats=REPEATS)
+    outputs = {}
+    for workers in (1, 2):
+        results = run_spec(spec, workers=workers)
+        records = [result.record for result in results]
+        out = tmp_dir / f"w{workers}"
+        jsonl = write_jsonl(records, out / "runs.jsonl")
+        csv = write_csv(aggregate(records), out / "summary.csv")
+        outputs[workers] = (jsonl.read_bytes(), csv.read_bytes(), records)
+    assert outputs[1][0] == outputs[2][0], (
+        "fault_sweep runs.jsonl differs between 1 and 2 workers")
+    assert outputs[1][1] == outputs[2][1], (
+        "fault_sweep summary.csv differs between 1 and 2 workers")
+    return outputs[1][2]
+
+
+def mean_delivery(records) -> dict[str, dict[float, float]]:
+    """``router → crash_rate → mean delivery ratio`` over the sweep."""
+    ratios: dict[str, dict[float, list[float]]] = {}
+    for record in records:
+        rate = float(record["params"]["crash_rate"])
+        for key, value in record["metrics"].items():
+            if key.endswith("_delivery_ratio"):
+                router = key[:-len("_delivery_ratio")]
+                ratios.setdefault(router, {}).setdefault(
+                    rate, []).append(value)
+    return {router: {rate: sum(vs) / len(vs)
+                     for rate, vs in sorted(by_rate.items())}
+            for router, by_rate in sorted(ratios.items())}
+
+
+def write_snapshot(identity, records, means, path=SNAPSHOT_PATH):
+    """Persist every gate for cross-PR tracking."""
+    first = records[0]["metrics"]
+    snapshot = {
+        "benchmark": "fault_tolerance",
+        "zero_rate": identity,
+        "sweep_runs": len(records),
+        "fault_events_first_run": first["fault_events"],
+        "mean_delivery_ratio": {
+            router: {str(rate): round(value, 4)
+                     for rate, value in by_rate.items()}
+            for router, by_rate in means.items()},
+        "workers_identical": True,
+    }
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return snapshot
+
+
+def test_fault_tolerance_gates(tmp_path):
+    identity = run_zero_rate_identity()
+    records = run_sweep(tmp_path)
+    means = mean_delivery(records)
+    snapshot = write_snapshot(identity, records, means)
+
+    rates = sorted({float(r["params"]["crash_rate"]) for r in records})
+    print_table(
+        "fault_sweep mean delivery ratio by router x crash rate",
+        ["router"] + [f"crash {rate}" for rate in rates],
+        [[router] + [round(by_rate[rate], 4) for rate in rates]
+         for router, by_rate in sorted(means.items())])
+
+    # Gate 2: every router degrades monotonically with the crash rate.
+    for router, by_rate in means.items():
+        values = [by_rate[rate] for rate in rates]
+        for lower, higher in zip(values, values[1:]):
+            assert higher <= lower + EPS, (
+                f"{router} delivery not monotone over crash_rate: "
+                f"{dict(zip(rates, values))}")
+
+    # Gate 3: redundancy holds up at a 20% crash-reboot rate.
+    assert means["prophet"][0.2] + EPS >= means["direct"][0.2], (
+        f"prophet fell below direct under crashes: {means}")
+    assert means["spray"][0.2] + EPS >= means["direct"][0.2], (
+        f"spray fell below direct under crashes: {means}")
+
+    # Sanity: the hostile corridor actually injected faults.
+    assert snapshot["fault_events_first_run"] > 0
+    assert SNAPSHOT_PATH.exists()

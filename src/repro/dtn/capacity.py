@@ -239,6 +239,16 @@ class BandwidthDtnOverlay(DtnOverlay):
             self._close_session(pair, _CLOSE_CHURN)
         super().retire_node(node_id)
 
+    def on_crash(self, node_id: str) -> None:
+        """Crash fault: kill every in-flight transfer naming the node
+        (counted ``transfers_cancelled``, nothing credited — the
+        receiver never got the bytes) before the base state loss."""
+        if node_id not in self.stores or node_id in self._dead:
+            return
+        for pair in sorted(p for p in self._sessions if node_id in p):
+            self._close_session(pair, _CLOSE_CHURN)
+        super().on_crash(node_id)
+
     def detach(self) -> None:
         """Cancel watches, sessions and in-flight legs.  Idempotent."""
         for pair in sorted(self._sessions):
@@ -305,7 +315,7 @@ class BandwidthDtnOverlay(DtnOverlay):
             receiver_store = self.stores[receiver]
             for bundle in self.router.offers(
                     self.stores[sender], receiver,
-                    receiver_store.summary_vector()):
+                    self._peer_vector(receiver)):
                 total += max(0, bundle.size_bytes
                              - receiver_store.partial_received(
                                  bundle.bundle_id))
@@ -324,11 +334,13 @@ class BandwidthDtnOverlay(DtnOverlay):
                                  (session.node_b, session.node_a)):
             if sender in self._dead or receiver in self._dead:
                 continue
-            receiver_store = self.stores[receiver]
+            if (self.faults is not None
+                    and not self.faults.can_transmit(sender, receiver)):
+                continue  # deaf/mute/jammed direction: no leg starts
             inbound = self._inbound.get(receiver, ())
             offers = self.router.offers(
                 self.stores[sender], receiver,
-                receiver_store.summary_vector())
+                self._peer_vector(receiver))
             for rank, bundle in enumerate(offers):
                 if bundle.bundle_id in inbound:
                     continue

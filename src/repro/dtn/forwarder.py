@@ -130,6 +130,11 @@ class DtnPlane:
             name: set() for name in self.stores}
         self._dead: set[str] = set()
         self._sequences: dict[str, int] = {}
+        #: Installed fault plane, if the world carries one (crash /
+        #: deaf-mute / jammer / byzantine injection — :mod:`repro.faults`).
+        self.faults = getattr(world, "faults", None)
+        if self.faults is not None:
+            self.faults.add_listener(self)
 
     # ------------------------------------------------------------------
     # injection
@@ -154,6 +159,11 @@ class DtnPlane:
                 raise ValueError(
                     f"node {name!r} was removed from the world; "
                     f"bundles cannot originate at or target it")
+        if self.faults is not None and self.faults.is_crashed(source):
+            raise ValueError(
+                f"node {source!r} is crashed; bundles cannot originate "
+                f"at a dark node (a crashed *destination* is fine — the "
+                f"bundle waits out the outage)")
         sequence = self._sequences.get(source, 0) + 1
         self._sequences[source] = sequence
         copies = getattr(self.router, "initial_copies", 1)
@@ -218,8 +228,23 @@ class DtnPlane:
             self.meter.count(sender, "dtn-control",
                              self.contact_control_bytes(sender, receiver))
 
+    def _peer_vector(self, peer: str) -> frozenset:
+        """The peer's *advertised* summary vector (byzantine hook).
+
+        Ground truth — ``has_seen``, delivery, custody settlement —
+        never goes through here: a byzantine node lies about what it
+        carries, not about what it receives.
+        """
+        vector = self.stores[peer].summary_vector()
+        if self.faults is not None:
+            return self.faults.advertised_vector(peer, vector)
+        return vector
+
     def _exchange(self, carrier: str, peer: str) -> bool:
         """One-directional offer pass; True if the peer's store grew."""
+        if (self.faults is not None
+                and not self.faults.can_transmit(carrier, peer)):
+            return False
         now = self.sim.now
         carrier_store = self.stores[carrier]
         peer_store = self.stores[peer]
@@ -227,7 +252,7 @@ class DtnPlane:
         peer_store.expire(now)
         grew = False
         for bundle in self.router.offers(
-                carrier_store, peer, peer_store.summary_vector()):
+                carrier_store, peer, self._peer_vector(peer)):
             if peer_store.has_seen(bundle.bundle_id):
                 self.counters.duplicates += 1
                 continue
@@ -296,6 +321,40 @@ class DtnPlane:
     def retired(self, node_id: str) -> bool:
         """True once the node left the world (power-off churn).  O(1)."""
         return node_id in self._dead
+
+    def crashed(self, node_id: str) -> bool:
+        """True while the node is crash-suspended (fault plane).  O(1)."""
+        return self.faults is not None and self.faults.is_crashed(node_id)
+
+    # ------------------------------------------------------------------
+    # fault-plane listener hooks
+    # ------------------------------------------------------------------
+    def on_crash(self, node_id: str) -> None:
+        """A crash-reboot outage began: full state loss, contacts close.
+
+        Unlike :meth:`retire_node` the node stays on the plane — it
+        returns at reboot with an empty store and no memory of what it
+        had seen (:meth:`~repro.dtn.store.MessageStore.wipe`).
+        Buffered bundles are counted ``dropped_dead`` like any custodian
+        death; stateful routers drop the node's state
+        (:meth:`~repro.dtn.routing.Router.on_crash`).  The fault plane
+        calls this *before* ``World.suspend_node``, so adjacency closes
+        here while the bus still reports pre-fault geometry (the
+        synthetic LinkDowns that follow find the contacts already
+        gone — a harmless no-op).
+        """
+        if node_id not in self.stores or node_id in self._dead:
+            return
+        self.stores[node_id].wipe()
+        self.router.on_crash(node_id)
+        for peer in list(self._adjacent.get(node_id, ())):
+            self.contact_down(node_id, peer)
+
+    def on_reboot(self, node_id: str) -> None:
+        """A crash-reboot outage ended.  Nothing to restore — the state
+        loss already happened at crash; the bus's synthetic LinkUps
+        (``World.resume_node``) reopen whatever contacts are in range.
+        """
 
     # ------------------------------------------------------------------
     # result views

@@ -142,6 +142,15 @@ class Router:
         """
         return 0
 
+    def on_crash(self, node_id: str) -> None:
+        """A plane node suffered full state loss (crash-reboot fault).
+
+        Called by the forwarder's fault hook alongside the store wipe.
+        Stateless routers have nothing to forget; PRoPHET drops the
+        node's predictability table — a rebooted node relearns its
+        environment from scratch.
+        """
+
 
 class DirectDelivery(Router):
     """Source-only custody: transmit only to the destination itself."""
@@ -297,6 +306,16 @@ class Prophet(Router):
     def control_bytes(self, sender: str, receiver: str) -> int:
         """The sender's predictability vector, 12 B per entry.  O(1)."""
         return self.CONTROL_ENTRY_BYTES * self.table_size(sender)
+
+    def on_crash(self, node_id: str) -> None:
+        """Crash-reboot: the node's predictability table dies with it.
+
+        Peers keep *their* predictabilities toward the crashed node —
+        they have no way to know it rebooted amnesiac; those entries
+        age out by γ as usual.  O(1).
+        """
+        self._tables.pop(node_id, None)
+        self._aged_at.pop(node_id, None)
 
     # -- forwarding policy --------------------------------------------
     def offers(self, store: "MessageStore", peer_id: str,

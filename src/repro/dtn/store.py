@@ -184,6 +184,20 @@ class MessageStore:
         self._partials.clear()   # fragments die with the node
         return [entry.item for entry in victims]
 
+    def wipe(self) -> list[Bundle]:
+        """Crash-reboot state loss: custody *and* memory are gone.
+
+        :meth:`drop_all` plus clearing the summary vector — a rebooted
+        node remembers nothing it ever carried, relayed or received.
+        It can be re-infected with epidemic copies it already relayed
+        and re-receive bundles it already got (the plane's delivery
+        ledger still counts each bundle once — first arrival wins).
+        Counted ``dropped_dead`` like any custodian death.  O(n).
+        """
+        victims = self.drop_all()
+        self._seen.clear()
+        return victims
+
     def __repr__(self) -> str:
         cap = ("∞" if self._buffer.capacity_bytes is None
                else self._buffer.capacity_bytes)

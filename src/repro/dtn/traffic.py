@@ -115,6 +115,9 @@ def schedule_traffic(plane: "DtnPlane",
     def fire(row: Injection) -> None:
         if plane.retired(row.source) or plane.retired(row.destination):
             return   # endpoint died before the injection instant
+        if plane.crashed(row.source):
+            return   # a dark node originates nothing mid-outage; a
+                     # crashed *destination* is fine — the bundle waits
         plane.send(row.source, row.destination,
                    size_bytes=row.size_bytes, ttl_s=row.ttl_s)
 

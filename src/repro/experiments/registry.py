@@ -30,6 +30,7 @@ from repro.scenarios import (
     fig_5_8_handover,
     flash_crowd,
     flash_crowd_broadcast,
+    hostile_corridor,
     island_hopping_ferry,
     line_topology,
     random_disc,
@@ -165,6 +166,32 @@ def build_scenario(name: str, seed: int,
 _TECHS = Param("technologies", tuple, ("bluetooth",),
                "radio mix carried by every node", element=str)
 
+
+def _fault_params(crash_rate: float = 0.0, crash_downtime_s: float = 45.0,
+                  radio_fault_rate: float = 0.0,
+                  byzantine_rate: float = 0.0, jammer_count: int = 0,
+                  fault_window_s: float = 480.0) -> tuple[Param, ...]:
+    """The shared fault-injection schema (:mod:`repro.faults`).
+
+    Appended to every DTN/bandwidth scenario registration with all-zero
+    defaults (zero rates install nothing); ``hostile_corridor``
+    registers the same knobs with its hostile defaults.
+    """
+    return (
+        Param("crash_rate", float, crash_rate,
+              "fraction of non-terminal nodes crash-rebooting once"),
+        Param("crash_downtime_s", float, crash_downtime_s,
+              "outage / radio-fault duration scale, seconds"),
+        Param("radio_fault_rate", float, radio_fault_rate,
+              "fraction of nodes going deaf or mute for an interval"),
+        Param("byzantine_rate", float, byzantine_rate,
+              "fraction of nodes advertising false summary vectors"),
+        Param("jammer_count", int, jammer_count,
+              "mobile jammers roaming the scenario area"),
+        Param("fault_window_s", float, fault_window_s,
+              "window over which fault onsets are sampled, seconds"),
+    )
+
 register_scenario(
     "line_topology", line_topology,
     params=(
@@ -243,9 +270,24 @@ register_scenario(
         Param("length_m", float, 120.0, "corridor length, metres"),
         Param("width_m", float, 8.0, "corridor width, metres"),
         _TECHS,
+        *_fault_params(),
     ),
     summary=("home/work terminals beyond mutual range; bundles ride "
              "commuters"))
+
+register_scenario(
+    "hostile_corridor", hostile_corridor,
+    params=(
+        Param("count", int, 10, "commuters in the corridor"),
+        Param("length_m", float, 120.0, "corridor length, metres"),
+        Param("width_m", float, 8.0, "corridor width, metres"),
+        _TECHS,
+        *_fault_params(crash_rate=0.2, crash_downtime_s=120.0,
+                       radio_fault_rate=0.1, byzantine_rate=0.1,
+                       jammer_count=1, fault_window_s=360.0),
+    ),
+    summary=("the commuter corridor under crash-reboot, deaf/mute, "
+             "byzantine and jammer faults"))
 
 register_scenario(
     "island_hopping_ferry", island_hopping_ferry,
@@ -257,6 +299,7 @@ register_scenario(
         Param("dwell_s", float, 20.0, "ferry dwell per stop, seconds"),
         Param("cycles", int, 4, "ferry shuttle cycles before parking"),
         _TECHS,
+        *_fault_params(),
     ),
     summary="partitioned islands bridged only by a scripted ferry")
 
@@ -266,6 +309,7 @@ register_scenario(
         Param("count", int, 24, "roaming attendees"),
         Param("area", float, 60.0, "side of the square, metres"),
         _TECHS,
+        *_fault_params(),
     ),
     summary="static announcer amid a roaming crowd (broadcast traffic)")
 
@@ -280,6 +324,7 @@ register_scenario(
         Param("headway_s", float, 20.0, "car start stagger, seconds"),
         Param("laps", int, 4, "round trips per car before parking"),
         _TECHS,
+        *_fault_params(),
     ),
     summary=("seconds-long drive-by contacts; large bundles need "
              "partial-transfer resume across laps"))
@@ -290,6 +335,7 @@ register_scenario(
         Param("count", int, 18, "roaming attendees"),
         Param("area", float, 40.0, "side of the square, metres"),
         _TECHS,
+        *_fault_params(),
     ),
     summary=("dense broadcast crowd: window bytes, not reachability, "
              "are the constraint"))
@@ -304,6 +350,7 @@ register_scenario(
         Param("dwell_s", float, 25.0, "bus dwell per stop, seconds"),
         Param("cycles", int, 4, "bus route cycles before parking"),
         _TECHS,
+        *_fault_params(),
     ),
     summary=("partitioned villages served by one bus; each dwell "
              "prices the village uplink in bytes"))

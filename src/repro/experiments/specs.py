@@ -136,6 +136,26 @@ register_spec(ExperimentSpec(
     description=("bandwidth-limited DTN delivery: epidemic vs spray vs "
                  "PRoPHET under per-contact byte budgets")))
 
+#: The fault-tolerance campaign: the hostile corridor swept over the
+#: crash-reboot rate with the remaining fault models at their hostile
+#: defaults.  Traffic is uniform (the spared terminals would understate
+#: the damage), so the axis measures how gracefully each routing
+#: policy's delivery degrades as custodians die mid-carry.  The fault
+#: bench gates zero-rate equivalence, monotone degradation and
+#: "redundancy beats direct under crashes" on this spec.
+register_spec(ExperimentSpec(
+    name="fault_sweep",
+    workload="dtn_faults",
+    scenarios=("hostile_corridor",),
+    axes={"crash_rate": (0.0, 0.2, 0.5)},
+    repeats=3,
+    master_seed=210,
+    settings={"duration_s": 480.0, "messages": 14, "ttl_s": 300.0,
+              "routers": ("direct", "spray", "prophet"),
+              "spray_copies": 6, "pattern": "uniform"},
+    description=("fault-injected DTN delivery: direct vs spray vs "
+                 "PRoPHET as the crash-reboot rate rises")))
+
 #: The production-scale gate: grid vs pairwise discovery at growing N.
 register_spec(ExperimentSpec(
     name="scale_sweep",

@@ -492,6 +492,92 @@ def dtn_delivery(point: RunPoint) -> Metrics:
 
 
 # ----------------------------------------------------------------------
+# dtn_faults: routers compared under an active fault-injection plane
+# ----------------------------------------------------------------------
+@register_workload("dtn_faults")
+def dtn_faults(point: RunPoint) -> Metrics:
+    """Paired router comparison with :mod:`repro.faults` active.
+
+    Identical in structure to the ``dtn`` workload — every router in
+    ``settings["routers"]`` re-runs the same mobility and the same
+    injection schedule — but the point's scenario params are expected
+    to switch on fault models (``crash_rate`` …), so the comparison
+    measures *robustness*: how much delivery each routing policy loses
+    to crash-reboots, deaf/mute radios, byzantine summary vectors and
+    jamming.  With all fault params at zero the scenario installs no
+    plane at all and the metrics this workload shares with ``dtn`` are
+    byte-identical to it — the differential gate in
+    ``benchmarks/bench_fault_tolerance.py``.
+
+    ``settings`` mirror the ``dtn`` workload's, with two different
+    defaults: ``routers`` is ``("direct", "spray", "prophet")``
+    (multi-copy and predictive policies are the ones whose redundancy
+    faults should separate) and ``pattern`` is ``uniform`` (endpoint
+    terminals are never faulted, so endpoint traffic would understate
+    the damage).  Beyond the ``dtn`` metrics, each router leg reports
+    its fault-plane counters (``*_crashes``, ``*_reboots``,
+    ``*_jammed``, ``*_byzantine``) plus the shared schedule length
+    (``fault_events``); all zero when no plane is installed.
+    """
+    duration_s = float(point.settings.get("duration_s", 480.0))
+    messages = int(point.settings.get("messages", 16))
+    ttl_s = float(point.settings.get("ttl_s", 300.0))
+    size_bytes = int(point.settings.get("size_bytes", 512))
+    routers = list(point.settings.get(
+        "routers", ("direct", "spray", "prophet")))
+    spray_copies = int(point.settings.get("spray_copies", 6))
+    capacity = int(point.settings.get("capacity_bytes", 0)) or None
+    policy = str(point.settings.get("policy", "oldest"))
+    pattern = str(point.settings.get("pattern", "uniform"))
+    tech = str(point.settings.get("tech", "bluetooth"))
+    inject_start = float(point.settings.get("inject_start_s", 10.0))
+    inject_end = float(point.settings.get("inject_end_s",
+                                          duration_s / 2.0))
+    metrics: Metrics = {}
+    for router_name in routers:
+        scenario, plane, nodes, resolved = _paired_router_run(
+            point, router_name,
+            lambda scenario, router: DtnOverlay(
+                scenario.world, router, tech=tech,
+                capacity_bytes=capacity, policy=policy,
+                meter=scenario.meter),
+            spray_copies=spray_copies, duration_s=duration_s,
+            messages=messages, ttl_s=ttl_s, size_bytes=size_bytes,
+            pattern=pattern, inject_start=inject_start,
+            inject_end=inject_end)
+        latencies = plane.latencies()
+        counters = plane.counters
+        faults = scenario.world.faults
+        fault_counts = (faults.counters.as_dict() if faults is not None
+                        else {"crashes": 0, "reboots": 0,
+                              "jammed_deliveries": 0,
+                              "byzantine_beacons": 0})
+        metrics.update({
+            "nodes": len(nodes),
+            "pattern_" + resolved: 1,
+            "created": counters.created,
+            "fault_events":
+                len(faults.schedule) if faults is not None else 0,
+            f"{router_name}_delivery_ratio": plane.delivery_ratio(),
+            f"{router_name}_delivered": counters.delivered,
+            f"{router_name}_latency_mean":
+                statistics.fmean(latencies) if latencies else None,
+            f"{router_name}_transmissions": counters.transmissions,
+            f"{router_name}_overhead": plane.overhead_ratio(),
+            f"{router_name}_wakeups": plane.wakeups,
+            f"{router_name}_duplicates": counters.duplicates,
+            f"{router_name}_expired": counters.expired,
+            f"{router_name}_dropped_dead": counters.dropped_dead,
+            f"{router_name}_crashes": fault_counts["crashes"],
+            f"{router_name}_reboots": fault_counts["reboots"],
+            f"{router_name}_jammed": fault_counts["jammed_deliveries"],
+            f"{router_name}_byzantine":
+                fault_counts["byzantine_beacons"],
+        })
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # dtn_bandwidth: routers compared under bandwidth-limited contacts
 # ----------------------------------------------------------------------
 @register_workload("dtn_bandwidth")

@@ -157,6 +157,53 @@ class DtnCounters:
 
 
 @dataclasses.dataclass
+class FaultCounters:
+    """Fault-injection activity (:mod:`repro.faults`).
+
+    One instance per :class:`~repro.faults.plane.FaultPlane`; the
+    ``dtn_faults`` workload and ``bench_fault_tolerance`` read these.
+
+    Attributes
+    ----------
+    crashes:
+        Crash-reboot outages begun: the node went dark and its DTN
+        state (store, summary vector, router tables) was wiped.
+    reboots:
+        Outages ended: the node returned at its mobility position,
+        rediscoverable and empty-handed.  At most ``crashes`` (a node
+        removed mid-outage never reboots).
+    jammed_deliveries:
+        Transfer attempts suppressed because an endpoint sat inside a
+        mobile jammer's coverage disk at the attempt instant.
+    byzantine_beacons:
+        Summary-vector advertisements falsified by a byzantine node —
+        it claimed to have seen nothing, attracting duplicate copies
+        that waste transmissions and contact bytes.
+    """
+
+    crashes: int = 0
+    reboots: int = 0
+    jammed_deliveries: int = 0
+    byzantine_beacons: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (between benchmark rounds)."""
+        self.crashes = 0
+        self.reboots = 0
+        self.jammed_deliveries = 0
+        self.byzantine_beacons = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot for JSON benchmark artifacts."""
+        return {
+            "crashes": self.crashes,
+            "reboots": self.reboots,
+            "jammed_deliveries": self.jammed_deliveries,
+            "byzantine_beacons": self.byzantine_beacons,
+        }
+
+
+@dataclasses.dataclass
 class _Bucket:
     messages: int = 0
     bytes: int = 0

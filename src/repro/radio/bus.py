@@ -120,6 +120,9 @@ class ConnectivityBus:
         self.stats = world.stats.bus
         self._watches: dict[int, Watch] = {}
         self._by_node: dict[str, set[int]] = {}
+        # Watches held because an endpoint is suspended (crash faults):
+        # alive but unscheduled until resume_node re-arms them.
+        self._held: set[int] = set()
         self._next_id = 1
 
     # ------------------------------------------------------------------
@@ -268,7 +271,103 @@ class ConnectivityBus:
             self.stats.rescheduled += 1
             self._arm(watch)
 
+    def suspend_node(self, node_id: str) -> int:
+        """Hold every watch naming a suspended node; close its contacts.
+
+        Called by ``World.suspend_node`` *after* the node is flagged
+        suspended.  Unlike :meth:`cancel_node`, the watches survive:
+        each pending kernel event is cancelled and the watch parks in
+        the held set until :meth:`resume_node`.  Pairs that were in
+        range at the suspension instant (pre-fault geometry, via
+        ``World.in_range_raw``) get one synthetic LinkDown so consumers
+        — links, DTN overlays, trace recorders — observe the outage as
+        an ordinary connectivity event; quality one-shots whose reading
+        just dropped to 0 below their threshold fire likewise.  Returns
+        the number of watches held; O(W log W) for W watches naming the
+        node.
+        """
+        world = self.world
+        held = 0
+        for watch_id in sorted(self._by_node.get(node_id, set())):
+            watch = self._watches.get(watch_id)
+            if watch is None or not watch.active:
+                continue
+            if watch._handle is not None:
+                watch._handle.cancel()
+                watch._handle = None
+            self._held.add(watch_id)
+            held += 1
+            other = (watch.node_b if watch.node_a == node_id
+                     else watch.node_a)
+            if world.is_suspended(other):
+                continue  # the pair was already dark — no edge to report
+            if watch.threshold is None:
+                if (watch.only_kind in (None, LINK_DOWN)
+                        and world.in_range_raw(watch.node_a, watch.node_b,
+                                               watch.tech)):
+                    self._deliver_synthetic(watch, LINK_DOWN)
+            elif watch.only_kind == QUALITY_BELOW and watch.threshold > 0:
+                # The suspended pair now reads quality 0 — below any
+                # positive threshold.
+                self._deliver_synthetic(watch, QUALITY_BELOW)
+        return held
+
+    def resume_node(self, node_id: str) -> int:
+        """Re-arm watches held for a node that just resumed.
+
+        Called by ``World.resume_node`` *after* the suspension flag is
+        cleared.  Watches whose other endpoint is still suspended stay
+        held.  Repeating link watches whose pair is back in range fire
+        one synthetic LinkUp before re-arming — a settled in-range pair
+        would otherwise never produce the reopening edge (the same
+        reasoning as the DTN overlay's seeded contacts).  Returns the
+        number re-armed; each re-arm counts ``rescheduled``.
+        """
+        world = self.world
+        resumed = 0
+        for watch_id in sorted(self._held
+                               & self._by_node.get(node_id, set())):
+            watch = self._watches.get(watch_id)
+            if watch is None or not watch.active:
+                self._held.discard(watch_id)
+                continue
+            if (world.is_suspended(watch.node_a)
+                    or world.is_suspended(watch.node_b)):
+                continue  # held until the other endpoint returns too
+            self._held.discard(watch_id)
+            if (watch.threshold is None and not watch.once
+                    and world.in_range(watch.node_a, watch.node_b,
+                                       watch.tech)):
+                self._deliver_synthetic(watch, LINK_UP)
+                if not watch.active:
+                    continue
+            self.stats.rescheduled += 1
+            self._arm(watch)
+            resumed += 1
+        return resumed
+
+    def _deliver_synthetic(self, watch: Watch, kind: str) -> None:
+        """Fire a watch at the current instant, outside the predictor.
+
+        Suspension and resume edges are not geometric crossings — the
+        solver cannot predict them — so the bus synthesises the event
+        directly.  Counted ``fired`` (preserving the forwarder's
+        ``wakeups ≤ bus fired`` invariant); once-watches complete
+        exactly as from a predicted firing.  The caller decides whether
+        to re-arm afterwards.
+        """
+        event = ConnectivityEvent(self.sim.now, kind, watch.node_a,
+                                  watch.node_b, watch.tech.name,
+                                  watch.threshold)
+        watch.last_fired = event
+        self.stats.fired += 1
+        if watch.once:
+            watch.active = False
+            self._forget(watch)
+        watch.callback(event)
+
     def _forget(self, watch: Watch) -> None:
+        self._held.discard(watch.watch_id)
         self._watches.pop(watch.watch_id, None)
         for node_id in (watch.node_a, watch.node_b):
             members = self._by_node.get(node_id)
@@ -326,6 +425,15 @@ class ConnectivityBus:
                                         self.sim.now)
 
     def _arm(self, watch: Watch) -> None:
+        if (self.world.is_suspended(watch.node_a)
+                or self.world.is_suspended(watch.node_b)):
+            # A suspended endpoint has no physics worth predicting (its
+            # quality is pinned at 0): hold the watch; resume_node
+            # re-arms it.  Catches re-registrations and pair
+            # invalidations that race with an outage.
+            self._held.add(watch.watch_id)
+            watch._handle = None
+            return
         t0: float | None = None  # None = predict from the current instant
         for _attempt in range(8):
             crossing = self._predict(watch, t0)

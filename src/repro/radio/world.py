@@ -80,6 +80,13 @@ class World:
         self._grids: dict[str, SpatialGrid] = {}
         self._grid_synced: dict[str, float] = {}
         self._last_history_prune = sim.now
+        # Suspended (crashed-but-rebootable) nodes: registered, but out
+        # of every grid and every query answer.  See suspend_node.
+        self._suspended: set[str] = set()
+        #: Installed fault plane, if any (set by
+        #: :class:`repro.faults.FaultPlane`; stays ``None`` on a
+        #: fault-free world — zero-rate configs never touch it).
+        self.faults = None
         self.stats = WorldStats()
         #: Crossing-time solver and connectivity-event bus (PR 3): link
         #: and quality-threshold changes are *predicted and scheduled*
@@ -140,7 +147,60 @@ class World:
         self._inquiry_history = {
             key: history for key, history in self._inquiry_history.items()
             if key[0] != node_id}
+        # A node crashed at removal time must not leave orphaned fault
+        # flags or held watches: clear the suspension first so
+        # cancel_node sees plain watches (their kernel handles are
+        # already None while held — cancel is a no-op on those).
+        self._suspended.discard(node_id)
         self.bus.cancel_node(node_id)
+        if self.faults is not None:
+            self.faults.on_node_removed(node_id)
+
+    def suspend_node(self, node_id: str) -> None:
+        """Take a node dark without removing it (crash-reboot faults).
+
+        The node keeps its identity and mobility but stops
+        participating physically: it is out of range of everything,
+        absent from every neighbor query, undiscoverable, and its link
+        qualities read 0.  Unlike :meth:`remove_node`, bus watches
+        naming it are *held* rather than cancelled, and synthetic
+        LinkDown events close its open contacts — see
+        :meth:`~repro.radio.bus.ConnectivityBus.suspend_node`.
+        Idempotent for an already-suspended node; ``KeyError`` if
+        unknown.  O(G + watches naming the node).
+        """
+        self._node(node_id)  # raise if unknown
+        if node_id in self._suspended:
+            return
+        self._suspended.add(node_id)
+        for grid in self._grids.values():
+            if node_id in grid:
+                grid.remove(node_id)
+        self.bus.suspend_node(node_id)
+
+    def resume_node(self, node_id: str) -> None:
+        """Bring a suspended node back at its current mobility position.
+
+        The grids re-index the node, held watches re-arm, and synthetic
+        LinkUp events reopen contacts already in range — the reboot
+        half of crash-reboot fault injection (any state loss is the
+        fault plane's business, not the world's).  Idempotent;
+        ``KeyError`` if unknown.
+        """
+        node = self._node(node_id)
+        if node_id not in self._suspended:
+            return
+        self._suspended.discard(node_id)
+        now = self.sim.now
+        for tech_name, grid in self._grids.items():
+            if tech_name in node.technologies and node_id not in grid:
+                grid.insert(node_id, node.mobility.position(now),
+                            mobile=node.mobility.is_mobile())
+        self.bus.resume_node(node_id)
+
+    def is_suspended(self, node_id: str) -> bool:
+        """True while the node is suspended (crashed).  O(1)."""
+        return node_id in self._suspended
 
     def node_ids(self) -> list[str]:
         """All registered node ids, sorted for determinism.  O(N log N)."""
@@ -187,7 +247,19 @@ class World:
         A pair query — O(1), no grid involved.  A node that has been
         removed from the world (powered off, battery pulled) is simply out
         of range of everything — links to it break rather than the query
-        crashing.
+        crashing.  A *suspended* (crashed) node is likewise out of range
+        until it resumes.
+        """
+        if a in self._suspended or b in self._suspended:
+            return False
+        return self.in_range_raw(a, b, tech)
+
+    def in_range_raw(self, a: str, b: str, tech: Technology) -> bool:
+        """:meth:`in_range` ignoring suspension — pre-fault geometry.
+
+        The connectivity bus uses this at the suspension instant to
+        decide which pairs were in contact (and therefore owe a
+        synthetic LinkDown); everything else wants :meth:`in_range`.
         """
         if a == b:
             return False
@@ -212,7 +284,8 @@ class World:
         if grid is None:
             grid = SpatialGrid(cell_size=tech.range_m)
             for node in self._nodes.values():
-                if tech.name in node.technologies:
+                if (tech.name in node.technologies
+                        and node.node_id not in self._suspended):
                     grid.insert(node.node_id,
                                 node.mobility.position(now),
                                 mobile=node.mobility.is_mobile())
@@ -239,6 +312,8 @@ class World:
         node = self._nodes.get(node_id)
         if node is None or tech.name not in node.technologies:
             return []
+        if node_id in self._suspended:
+            return []  # a dark node sees nothing (and is in no grid)
         self.stats.neighbor_queries += 1
         grid = self._grid_for(tech)
         center = grid.point(node_id)
@@ -265,13 +340,15 @@ class World:
         node = self._nodes.get(node_id)
         if node is None or tech.name not in node.technologies:
             return []
+        if node_id in self._suspended:
+            return []
         now = self.sim.now
         center = node.mobility.position(now)
         range_m = tech.range_m
         stats = self.stats
         found = []
         for other_id in sorted(self._nodes):
-            if other_id == node_id:
+            if other_id == node_id or other_id in self._suspended:
                 continue
             other = self._nodes[other_id]
             if tech.name not in other.technologies:
@@ -344,7 +421,11 @@ class World:
         Evaluates mobility directly (never the spatial grids, which are
         synced to ``sim.now``).  Same semantics as :meth:`link_quality`:
         overrides first, 0 out of range or for unknown/radio-less nodes.
+        A suspended (crashed) node reads 0 even under an override — the
+        radio is off, not merely degraded.
         """
+        if a in self._suspended or b in self._suspended:
+            return 0
         override = self._overrides.get(self._override_key(a, b, tech))
         if override is not None:
             value = override(t)
@@ -430,6 +511,8 @@ class World:
         """
         if not self.supports(node_id, tech):
             return False
+        if node_id in self._suspended:
+            return False  # a crashed radio answers no inquiries
         if tech.discoverable_while_inquiring:
             return True
         return not self.is_inquiring(node_id, tech)

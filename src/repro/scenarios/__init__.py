@@ -14,6 +14,8 @@ must ride a moving custodian.  :mod:`~repro.scenarios.bandwidth` is
 the rate-constrained family (drive-by kiosk, crowded festival, rural
 bus) where contact *duration* prices the byte budget the
 bandwidth-limited data plane schedules against.
+:mod:`~repro.scenarios.hostile` is the adversarial variant: the
+commuter corridor with every :mod:`repro.faults` model on by default.
 :mod:`~repro.scenarios.traces` records
 the connectivity-event stream as a JSONL contact trace and replays it
 as a mobility-free workload (:func:`replay_arena` is its registered
@@ -31,6 +33,7 @@ from repro.scenarios.dtn import (
     flash_crowd_broadcast,
     island_hopping_ferry,
 )
+from repro.scenarios.hostile import hostile_corridor
 from repro.scenarios.large_scale import (
     dense_plaza,
     flash_crowd,
@@ -72,6 +75,7 @@ __all__ = [
     "fig_5_8_handover",
     "flash_crowd",
     "flash_crowd_broadcast",
+    "hostile_corridor",
     "island_hopping_ferry",
     "line_topology",
     "random_disc",

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import typing
 
+from repro.faults import install_scenario_faults
 from repro.mobility.linear import PathMovement
 from repro.mobility.waypoint import RandomWaypoint
 from repro.radio.technologies import get_technology
@@ -39,6 +40,12 @@ from repro.scenarios.builder import Scenario
 def drive_by_kiosk(count: int = 6, road_length_m: float = 300.0,
                    lane_offset_m: float = 6.0, speed_mps: float = 12.0,
                    headway_s: float = 20.0, laps: int = 4,
+                   crash_rate: float = 0.0,
+                   crash_downtime_s: float = 45.0,
+                   radio_fault_rate: float = 0.0,
+                   byzantine_rate: float = 0.0,
+                   jammer_count: int = 0,
+                   fault_window_s: float = 480.0,
                    seed: int = 0,
                    technologies: typing.Sequence[str] = ("bluetooth",),
                    ) -> Scenario:
@@ -87,12 +94,25 @@ def drive_by_kiosk(count: int = 6, road_length_m: float = 300.0,
         scenario.add_node(f"c{index}", mobility=PathMovement(waypoints),
                           technologies=technologies,
                           mobility_class="dynamic")
+    install_scenario_faults(
+        scenario, crash_rate=crash_rate,
+        crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s,
+        area=(road_length_m, 2 * lane_offset_m + 10.0))
     return scenario
 
 
 def crowded_festival(count: int = 18, area: float = 40.0,
                      speed_range: tuple[float, float] = (0.4, 1.5),
                      pause_range: tuple[float, float] = (0.0, 15.0),
+                     crash_rate: float = 0.0,
+                     crash_downtime_s: float = 45.0,
+                     radio_fault_rate: float = 0.0,
+                     byzantine_rate: float = 0.0,
+                     jammer_count: int = 0,
+                     fault_window_s: float = 480.0,
                      seed: int = 0,
                      technologies: typing.Sequence[str] = ("bluetooth",),
                      ) -> Scenario:
@@ -119,6 +139,12 @@ def crowded_festival(count: int = 18, area: float = 40.0,
         scenario.add_node(f"a{index}", mobility=mobility,
                           technologies=technologies,
                           mobility_class="dynamic")
+    install_scenario_faults(
+        scenario, crash_rate=crash_rate,
+        crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s, area=(area, area))
     return scenario
 
 
@@ -126,7 +152,14 @@ def rural_bus_dtn(count: int = 9, villages: int = 3,
                   village_radius_m: float = 5.0,
                   village_spacing_m: float = 80.0,
                   bus_speed_mps: float = 8.0, dwell_s: float = 25.0,
-                  cycles: int = 4, seed: int = 0,
+                  cycles: int = 4,
+                  crash_rate: float = 0.0,
+                  crash_downtime_s: float = 45.0,
+                  radio_fault_rate: float = 0.0,
+                  byzantine_rate: float = 0.0,
+                  jammer_count: int = 0,
+                  fault_window_s: float = 480.0,
+                  seed: int = 0,
                   technologies: typing.Sequence[str] = ("bluetooth",),
                   ) -> Scenario:
     """``count`` villagers over ``villages`` clusters plus one bus.
@@ -179,4 +212,12 @@ def rural_bus_dtn(count: int = 9, villages: int = 3,
                 waypoints.append((clock, target))
     scenario.add_node("bus", mobility=PathMovement(waypoints),
                       technologies=technologies, mobility_class="dynamic")
+    install_scenario_faults(
+        scenario, crash_rate=crash_rate,
+        crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s,
+        area=((villages - 1) * village_spacing_m + 2 * village_radius_m,
+              4 * village_radius_m))
     return scenario

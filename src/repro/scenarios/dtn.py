@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import typing
 
+from repro.faults import install_scenario_faults
 from repro.mobility.linear import PathMovement
 from repro.mobility.waypoint import RandomWaypoint
 from repro.scenarios.builder import Scenario
@@ -39,6 +40,12 @@ def commuter_corridor(count: int = 10, length_m: float = 120.0,
                       width_m: float = 8.0,
                       speed_range: tuple[float, float] = (0.8, 2.0),
                       pause_range: tuple[float, float] = (0.0, 30.0),
+                      crash_rate: float = 0.0,
+                      crash_downtime_s: float = 45.0,
+                      radio_fault_rate: float = 0.0,
+                      byzantine_rate: float = 0.0,
+                      jammer_count: int = 0,
+                      fault_window_s: float = 480.0,
                       seed: int = 0,
                       technologies: typing.Sequence[str] = ("bluetooth",),
                       ) -> Scenario:
@@ -49,6 +56,11 @@ def commuter_corridor(count: int = 10, length_m: float = 120.0,
     never in range of each other or of a commuter at the far end, so
     ``home`` → ``work`` bundles are deliverable only store-carry-forward.
     Commuters are named ``m0`` … ``m{count-1}``.
+
+    The ``*_rate`` / jammer parameters inject faults on the commuters
+    (never the terminals) via
+    :func:`repro.faults.install_scenario_faults`; all default to zero,
+    which installs nothing at all.
     """
     if count < 1:
         raise ValueError(f"need at least one commuter, got {count}")
@@ -68,6 +80,12 @@ def commuter_corridor(count: int = 10, length_m: float = 120.0,
         scenario.add_node(f"m{index}", mobility=mobility,
                           technologies=technologies,
                           mobility_class="dynamic")
+    install_scenario_faults(
+        scenario, crash_rate=crash_rate,
+        crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s, area=(length_m, width_m))
     return scenario
 
 
@@ -76,6 +94,12 @@ def island_hopping_ferry(count: int = 9, islands: int = 3,
                          island_spacing_m: float = 60.0,
                          ferry_speed_mps: float = 5.0,
                          dwell_s: float = 20.0, cycles: int = 4,
+                         crash_rate: float = 0.0,
+                         crash_downtime_s: float = 45.0,
+                         radio_fault_rate: float = 0.0,
+                         byzantine_rate: float = 0.0,
+                         jammer_count: int = 0,
+                         fault_window_s: float = 480.0,
                          seed: int = 0,
                          technologies: typing.Sequence[str] = (
                              "bluetooth",),
@@ -130,12 +154,26 @@ def island_hopping_ferry(count: int = 9, islands: int = 3,
                 waypoints.append((clock, target))
     scenario.add_node("ferry", mobility=PathMovement(waypoints),
                       technologies=technologies, mobility_class="dynamic")
+    install_scenario_faults(
+        scenario, crash_rate=crash_rate,
+        crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s,
+        area=((islands - 1) * island_spacing_m + 2 * island_radius_m,
+              4 * island_radius_m))
     return scenario
 
 
 def flash_crowd_broadcast(count: int = 24, area: float = 60.0,
                           speed_range: tuple[float, float] = (0.5, 1.8),
                           pause_range: tuple[float, float] = (0.0, 20.0),
+                          crash_rate: float = 0.0,
+                          crash_downtime_s: float = 45.0,
+                          radio_fault_rate: float = 0.0,
+                          byzantine_rate: float = 0.0,
+                          jammer_count: int = 0,
+                          fault_window_s: float = 480.0,
                           seed: int = 0,
                           technologies: typing.Sequence[str] = (
                               "bluetooth",),
@@ -163,4 +201,10 @@ def flash_crowd_broadcast(count: int = 24, area: float = 60.0,
         scenario.add_node(f"a{index}", mobility=mobility,
                           technologies=technologies,
                           mobility_class="dynamic")
+    install_scenario_faults(
+        scenario, crash_rate=crash_rate,
+        crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s, area=(area, area))
     return scenario

@@ -1,0 +1,55 @@
+"""The hostile corridor: the commuter corridor under active faults.
+
+The DTN/bandwidth families measure routers under best-case failure
+semantics (clean churn only).  This scenario is the adversarial
+counterpart and the substrate of the ``fault_sweep`` campaign: the same
+``home`` — commuters — ``work`` corridor as
+:func:`~repro.scenarios.dtn.commuter_corridor`, but with every fault
+model from :mod:`repro.faults` switched on by default — a fifth of the
+commuters crash-reboot mid-run (custody and summary vectors wiped), a
+tenth suffer deaf/mute radio intervals, a tenth beacon byzantine
+summary vectors, and one mobile jammer roams the corridor.
+
+All defaults are overridable, so the sweep's ``crash_rate`` axis can
+drive just one dimension while the rest stay fixed.  The terminals are
+never faulted (``SPARE_TERMINALS``), keeping the workload's endpoints
+measurable.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.scenarios.builder import Scenario
+from repro.scenarios.dtn import commuter_corridor
+
+
+def hostile_corridor(count: int = 10, length_m: float = 120.0,
+                     width_m: float = 8.0,
+                     speed_range: tuple[float, float] = (0.8, 2.0),
+                     pause_range: tuple[float, float] = (0.0, 30.0),
+                     crash_rate: float = 0.2,
+                     crash_downtime_s: float = 120.0,
+                     radio_fault_rate: float = 0.1,
+                     byzantine_rate: float = 0.1,
+                     jammer_count: int = 1,
+                     fault_window_s: float = 360.0,
+                     seed: int = 0,
+                     technologies: typing.Sequence[str] = ("bluetooth",),
+                     ) -> Scenario:
+    """:func:`~repro.scenarios.dtn.commuter_corridor` with hostile
+    fault defaults; see the module docstring.
+
+    A pure delegation — with identical parameters and seed the two
+    factories build byte-identical worlds and fault schedules, which is
+    exactly what the zero-rate differential gate in
+    ``benchmarks/bench_fault_tolerance.py`` relies on.
+    """
+    return commuter_corridor(
+        count=count, length_m=length_m, width_m=width_m,
+        speed_range=speed_range, pause_range=pause_range,
+        crash_rate=crash_rate, crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s, seed=seed,
+        technologies=technologies)

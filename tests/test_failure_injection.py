@@ -65,6 +65,40 @@ def test_restarted_daemon_is_rediscovered():
     assert flaky.address in observer.daemon.storage
 
 
+def test_crash_rebooted_node_is_rediscovered_and_can_receive():
+    """The fault-plane variant of the restart test: a crash suspends the
+    node in the *world* (daemon untouched), so discovery must lose it
+    mid-outage, re-find it after the reboot, and deliver to it again."""
+    from repro.faults import FaultPlane
+    scenario = Scenario(seed=82)
+    observer = scenario.add_node("observer", position=(0, 0))
+    flaky = scenario.add_node("flaky", position=(5, 0))
+    received = []
+    sink_service(flaky, received)
+    fault_plane = FaultPlane(scenario.world)
+    scenario.start_all()
+    scenario.run(until=SETTLE_S)
+    assert flaky.address in observer.daemon.storage
+    fault_plane.crash_now("flaky")
+    scenario.run(until=scenario.sim.now + 150.0)
+    assert flaky.address not in observer.daemon.storage
+    fault_plane.reboot_now("flaky")
+    scenario.run(until=scenario.sim.now + 150.0)
+    assert flaky.address in observer.daemon.storage
+
+    def run(sim):
+        connection = yield from observer.library.connect(
+            flaky.address, "sink", retries=6)
+        connection.write("post-reboot", 64)
+        yield sim.timeout(2.0)
+        return connection
+
+    scenario.run_process(run(scenario.sim))
+    assert received == ["post-reboot"]
+    assert fault_plane.counters.crashes == 1
+    assert fault_plane.counters.reboots == 1
+
+
 def test_bridge_node_death_tears_down_relayed_connection():
     scenario = Scenario(seed=83)
     client = scenario.add_node("client", position=(0, 0))
