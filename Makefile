@@ -14,6 +14,8 @@
 #   make bandwidth-sweep  run the bandwidth-limited DTN campaign
 #   make lint         byte-compile every source tree (syntax/tab check)
 #   make docs-check   verify intra-repo links in README + docs/*.md
+#   make report       render results/report/REPORT.md + REPORT.html
+#   make gate         regression-gate BENCH_*.json vs committed baselines
 #   make quickstart   run the two-device example end to end
 
 PYTHON ?= python
@@ -23,7 +25,7 @@ BENCHES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-all bench bench-scale bench-events bench-dtn \
         bench-capacity bench-fault sweep dtn-sweep bandwidth-sweep \
-        lint docs-check quickstart
+        lint docs-check report gate quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -92,6 +94,18 @@ lint:
 # external URLs are ignored so CI never flakes on the network.
 docs-check:
 	$(PYTHON) tools/check_links.py
+
+# Fold every BENCH_*.json snapshot, sweep runs.jsonl and the perf
+# trajectory into results/report/REPORT.md + REPORT.html.
+report:
+	$(PYTHON) -m repro.analysis report
+
+# Compare the root BENCH_*.json against the committed CI-size baselines
+# (results/bench_baseline/): fails on >±10% relative drift.  Run the
+# benches at the CI sizes first — like-for-like N, see
+# docs/OBSERVABILITY.md.
+gate:
+	$(PYTHON) -m repro.analysis gate --baseline results/bench_baseline --fresh .
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

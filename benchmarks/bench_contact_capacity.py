@@ -25,11 +25,11 @@ capacity`).  Three gates, all written into
    established delivery behaviour.
 """
 
-import json
 import os
 import pathlib
 import time
 
+from repro.analysis.snapshots import write_bench_snapshot
 from repro.dtn import BandwidthDtnOverlay, DtnOverlay, make_router
 from repro.dtn.traffic import generate_traffic, schedule_traffic
 from repro.experiments.report import aggregate, write_csv
@@ -116,8 +116,7 @@ def write_snapshot(records, constrained, infinite, path=SNAPSHOT_PATH):
         "epidemic_truncated":
             record["metrics"]["epidemic_transfers_truncated"],
     } for record in records]
-    snapshot = {
-        "benchmark": "contact_capacity",
+    payload = {
         "sweep": {
             "runs": len(records),
             "per_run": per_run,
@@ -136,9 +135,9 @@ def write_snapshot(records, constrained, infinite, path=SNAPSHOT_PATH):
         "infinite": {k: v for k, v in infinite.items()
                      if k != "delivered_ids"},
     }
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
-    return snapshot
+    return write_bench_snapshot(
+        "contact_capacity", payload, path, n=FARM_N,
+        repeats=max(r["repeat"] for r in records) + 1)
 
 
 def test_contact_capacity_gates(tmp_path):

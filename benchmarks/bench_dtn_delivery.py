@@ -22,11 +22,11 @@ gates, both written into ``BENCH_dtn_delivery.json`` at the repo root:
    shorter than its interval, never see extra ones).
 """
 
-import json
 import os
 import pathlib
 import time
 
+from repro.analysis.snapshots import write_bench_snapshot
 from repro.dtn import DtnOverlay, PollingDtnOverlay, make_router
 from repro.dtn.traffic import generate_traffic, schedule_traffic
 from repro.experiments.report import aggregate
@@ -107,8 +107,7 @@ def write_snapshot(records, polling, event, path=SNAPSHOT_PATH):
         "spray": [r["metrics"]["spray_delivery_ratio"]
                   for r in records],
     }
-    snapshot = {
-        "benchmark": "dtn_delivery",
+    payload = {
         "sweep": {
             "runs": len(records),
             "mean_delivery_ratio": {
@@ -125,9 +124,9 @@ def write_snapshot(records, polling, event, path=SNAPSHOT_PATH):
         "wakeup_reduction": round(
             polling["wakeups"] / max(1, event["wakeups"]), 2),
     }
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
-    return snapshot
+    return write_bench_snapshot(
+        "dtn_delivery", payload, path, n=FARM_N,
+        repeats=max(r["repeat"] for r in records) + 1)
 
 
 def test_dtn_delivery_gates(tmp_path):

@@ -25,11 +25,11 @@ kernel-event / wall-clock comparison for cross-PR tracking.  ``N``
 defaults to 500; the CI bench-smoke job sets ``BENCH_EVENT_N`` small.
 """
 
-import json
 import os
 import pathlib
 import time
 
+from repro.analysis.snapshots import write_bench_snapshot
 from repro.core.config import HandoverConfig
 from repro.core.handover import HandoverThread
 from repro.core.connection import PeerHoodConnection
@@ -131,8 +131,7 @@ def assert_identical_decisions(polling, event):
 
 def write_snapshot(n_nodes, polling, event, path=SNAPSHOT_PATH):
     """Persist the comparison for cross-PR perf tracking."""
-    snapshot = {
-        "benchmark": "event_handover",
+    payload = {
         "nodes": n_nodes,
         "duration_s": DURATION_S,
         "walker_fraction": WALKER_FRACTION,
@@ -144,9 +143,8 @@ def write_snapshot(n_nodes, polling, event, path=SNAPSHOT_PATH):
         "kernel_event_reduction": round(
             polling["kernel_events"] / max(1, event["kernel_events"]), 2),
     }
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
-    return snapshot
+    return write_bench_snapshot("event_handover", payload, path,
+                                n=n_nodes, repeats=1)
 
 
 def test_event_driven_monitoring_beats_polling():

@@ -31,6 +31,7 @@ import json
 import os
 import pathlib
 
+from repro.analysis.snapshots import write_bench_snapshot
 from repro.experiments.report import aggregate, write_csv
 from repro.experiments.runner import run_spec, write_jsonl
 from repro.experiments.spec import RunPoint
@@ -122,8 +123,7 @@ def mean_delivery(records) -> dict[str, dict[float, float]]:
 def write_snapshot(identity, records, means, path=SNAPSHOT_PATH):
     """Persist every gate for cross-PR tracking."""
     first = records[0]["metrics"]
-    snapshot = {
-        "benchmark": "fault_tolerance",
+    payload = {
         "zero_rate": identity,
         "sweep_runs": len(records),
         "fault_events_first_run": first["fault_events"],
@@ -133,9 +133,10 @@ def write_snapshot(identity, records, means, path=SNAPSHOT_PATH):
             for router, by_rate in means.items()},
         "workers_identical": True,
     }
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
-    return snapshot
+    return write_bench_snapshot(
+        "fault_tolerance", payload, path,
+        n=first["nodes"],
+        repeats=max(r["repeat"] for r in records) + 1)
 
 
 def test_fault_tolerance_gates(tmp_path):

@@ -14,9 +14,9 @@ at the repo root — a machine-readable snapshot of distance-check counts
 channel) so the perf trajectory is tracked across PRs.
 """
 
-import json
 import pathlib
 
+from repro.analysis.snapshots import write_bench_snapshot
 from repro.experiments import get_spec, run_spec
 from paperbench import print_table
 
@@ -42,8 +42,7 @@ def run_scale_sweep():
 
 def write_snapshot(results, path=SNAPSHOT_PATH):
     """Persist the perf snapshot for cross-PR trajectory tracking."""
-    snapshot = {
-        "benchmark": "scale_neighbors",
+    payload = {
         "spec": "scale_sweep",
         "rows": [
             {
@@ -59,8 +58,8 @@ def write_snapshot(results, path=SNAPSHOT_PATH):
             for row in results
         ],
     }
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    write_bench_snapshot("scale_neighbors", payload, path,
+                         n=results[-1]["n"], repeats=1)
     return path
 
 

@@ -1,0 +1,49 @@
+"""Results pipeline: bench snapshots, regression gates, rendered reports.
+
+The consumer side of the observability stack (:mod:`repro.obs` is the
+producer side).  Three cooperating modules:
+
+* :mod:`repro.analysis.snapshots` — the shared ``BENCH_*.json`` envelope
+  every benchmark writes through (benchmark name, git SHA, timestamp, N,
+  repeats) and the append-only cross-PR trajectory log
+  ``BENCH_trajectory.jsonl``;
+* :mod:`repro.analysis.gates` — the tolerance-band regression gate: a
+  recursive numeric diff of a fresh snapshot against the committed one,
+  failing CI on *relative* drift instead of only the absolute ≥5×
+  asserts inside the benches;
+* :mod:`repro.analysis.report` — ``python -m repro.analysis report``:
+  folds every snapshot, sweep ``runs.jsonl`` and the trajectory log into
+  one versioned markdown + HTML report (delivery-vs-rate pivots,
+  wakeup/byte breakdowns, paper-comparison table).
+
+Everything here is read-side tooling: it never imports the simulator and
+never perturbs a run.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.analysis.gates import (DEFAULT_TOLERANCE, GateFailure,
+                                  compare_snapshots, format_failures,
+                                  gate_directories, numeric_leaves)
+from repro.analysis.report import Document, build_report, write_report
+from repro.analysis.snapshots import (bench_envelope, git_sha,
+                                      load_snapshots,
+                                      trajectory_by_benchmark,
+                                      trajectory_entries,
+                                      write_bench_snapshot)
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "Document",
+    "GateFailure",
+    "bench_envelope",
+    "build_report",
+    "compare_snapshots",
+    "format_failures",
+    "gate_directories",
+    "git_sha",
+    "load_snapshots",
+    "numeric_leaves",
+    "trajectory_by_benchmark",
+    "trajectory_entries",
+    "write_bench_snapshot",
+    "write_report",
+]

@@ -1,0 +1,88 @@
+"""The analysis CLI: ``python -m repro.analysis report|gate``.
+
+* ``report`` — render every ``BENCH_*.json`` snapshot, sweep
+  ``runs.jsonl`` and the trajectory log into ``REPORT.md`` +
+  ``REPORT.html`` (default ``results/report/``);
+* ``gate`` — compare fresh snapshots against a committed baseline
+  directory within a relative tolerance band; non-zero exit on any
+  drift (the CI regression gate).
+
+Both commands are read-only over the simulator: they never run a
+simulation and can execute on any checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import gates as gates_mod
+from repro.analysis import report as report_mod
+
+
+def cmd_report(args) -> int:
+    doc = report_mod.build_report(args.root, sweep_dirs=args.sweep or None)
+    md_path, html_path = report_mod.write_report(doc, args.out)
+    print(f"wrote {md_path} and {html_path}")
+    return 0
+
+
+def cmd_gate(args) -> int:
+    failures, compared = gates_mod.gate_directories(
+        args.baseline, args.fresh, tolerance=args.tolerance)
+    if not compared:
+        print(f"gate compared nothing: no benchmark present in both "
+              f"{args.baseline} and {args.fresh}", file=sys.stderr)
+        return 2
+    print(f"gated {len(compared)} benchmark(s) at ±{args.tolerance:.0%}: "
+          + ", ".join(compared))
+    if failures:
+        print(f"\n{len(failures)} metric(s) outside the tolerance band:",
+              file=sys.stderr)
+        print(gates_mod.format_failures(failures), file=sys.stderr)
+        print("\nIf the drift is intended, regenerate the baseline "
+              "snapshots and commit them with the change.",
+              file=sys.stderr)
+        return 1
+    print("all shared metrics within tolerance")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Results pipeline: render reports, gate regressions.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report_parser = commands.add_parser(
+        "report", help="render BENCH_*.json + sweeps to markdown/HTML")
+    report_parser.add_argument("--root", default=".",
+                               help="repo root holding BENCH_*.json "
+                                    "and results/ (default .)")
+    report_parser.add_argument("--out", default="results/report",
+                               help="output directory for REPORT.md/"
+                                    "REPORT.html (default results/report)")
+    report_parser.add_argument("--sweep", action="append", default=[],
+                               help="sweep directory containing "
+                                    "runs.jsonl (repeatable; default: "
+                                    "every results/* directory)")
+
+    gate_parser = commands.add_parser(
+        "gate", help="fail when fresh snapshots drift beyond tolerance")
+    gate_parser.add_argument("--baseline", required=True,
+                             help="directory of committed baseline "
+                                  "BENCH_*.json snapshots")
+    gate_parser.add_argument("--fresh", default=".",
+                             help="directory of freshly measured "
+                                  "snapshots (default .)")
+    gate_parser.add_argument("--tolerance", type=float,
+                             default=gates_mod.DEFAULT_TOLERANCE,
+                             help="relative tolerance band (default "
+                                  f"{gates_mod.DEFAULT_TOLERANCE})")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"report": cmd_report, "gate": cmd_gate}[args.command]
+    return handler(args)

@@ -1,0 +1,153 @@
+"""Tolerance-band regression gates over ``BENCH_*.json`` snapshots.
+
+The benches themselves assert *absolute* floors (wakeup reduction ≥ 5×,
+PRoPHET ≥ epidemic).  Those catch collapses, not erosion: a wakeup
+reduction sliding from 48× to 6× passes every absolute gate while giving
+up an order of magnitude.  This module adds the relative gate: compare a
+freshly measured snapshot against the committed baseline and fail when
+any shared numeric metric drifts beyond a tolerance band.
+
+Semantics
+---------
+* Comparison is *symmetric*: drift in either direction fails.  The
+  simulations are deterministic per seed, so at equal N every recorded
+  metric should match the baseline **exactly** — any drift means this
+  change altered behaviour, and the author must either fix it or
+  regenerate the baseline to document the new figures.  The tolerance
+  band exists for metrics that aggregate over float arithmetic whose
+  rounding may shift across Python/platform versions, not for noise.
+* Wall-clock leaves (keys containing ``wall``, ``_ms``/``ms_``) are
+  skipped — they are machine noise and ride the timings side channel by
+  contract.  The ``envelope`` subtree is skipped too (SHA and timestamp
+  legitimately differ).
+* Metrics present only in the fresh snapshot are fine (new gates land
+  with the PR that adds them); metrics that *vanish* fail — a silently
+  dropped gate is itself a regression.
+
+Baselines at CI sizes live under ``results/bench_baseline/`` so the
+bench-smoke job compares like with like (same N, same seeds); the
+committed repo-root snapshots remain the full-size showcase figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import typing
+
+from repro.analysis.snapshots import load_snapshots
+
+#: Key substrings whose subtrees/leaves are excluded from comparison.
+SKIP_KEY_SUBSTRINGS = ("wall", "_ms", "ms_")
+SKIP_KEYS = ("envelope", "generated_at", "git_sha", "timestamp")
+
+#: Default relative tolerance band (fraction of the baseline value).
+DEFAULT_TOLERANCE = 0.1
+
+
+def _skipped(key: str) -> bool:
+    if key in SKIP_KEYS:
+        return True
+    return any(mark in key for mark in SKIP_KEY_SUBSTRINGS)
+
+
+def numeric_leaves(obj: object, prefix: str = "") -> dict[str, float]:
+    """Flatten every numeric leaf to a dotted path → value mapping.
+
+    Booleans count as 0/1 (gate flags like
+    ``prophet_beats_epidemic_in_every_run`` must not silently flip);
+    strings and ``None`` are ignored; wall-clock and envelope keys are
+    skipped per the module contract.
+    """
+    leaves: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            key = str(key)
+            if _skipped(key):
+                continue
+            path = f"{prefix}.{key}" if prefix else key
+            leaves.update(numeric_leaves(value, path))
+    elif isinstance(obj, (list, tuple)):
+        for index, value in enumerate(obj):
+            path = f"{prefix}.{index}" if prefix else str(index)
+            leaves.update(numeric_leaves(value, path))
+    elif isinstance(obj, bool):
+        leaves[prefix] = float(obj)
+    elif isinstance(obj, (int, float)):
+        leaves[prefix] = float(obj)
+    return leaves
+
+
+@dataclasses.dataclass(frozen=True)
+class GateFailure:
+    """One metric outside its tolerance band (or missing)."""
+
+    benchmark: str
+    metric: str
+    baseline: float | None
+    fresh: float | None
+    rel_delta: float | None          #: None when the metric vanished
+
+    def describe(self) -> str:
+        if self.fresh is None:
+            return (f"{self.benchmark}: {self.metric} vanished "
+                    f"(baseline {self.baseline:g})")
+        return (f"{self.benchmark}: {self.metric} drifted "
+                f"{self.rel_delta:+.1%} ({self.baseline:g} -> "
+                f"{self.fresh:g})")
+
+
+def compare_snapshots(benchmark: str, baseline: dict, fresh: dict,
+                      tolerance: float = DEFAULT_TOLERANCE
+                      ) -> list[GateFailure]:
+    """Gate one fresh snapshot against its baseline.
+
+    Relative delta is ``|fresh - baseline| / max(|baseline|, 1e-9)``;
+    a zero baseline therefore tolerates only an (almost) exactly zero
+    fresh value — correct for counters like ``duplicates`` whose whole
+    point is staying at 0.
+    """
+    base_leaves = numeric_leaves(baseline)
+    fresh_leaves = numeric_leaves(fresh)
+    failures: list[GateFailure] = []
+    for metric in sorted(base_leaves):
+        base_value = base_leaves[metric]
+        if metric not in fresh_leaves:
+            failures.append(GateFailure(benchmark, metric, base_value,
+                                        None, None))
+            continue
+        fresh_value = fresh_leaves[metric]
+        rel = abs(fresh_value - base_value) / max(abs(base_value), 1e-9)
+        if rel > tolerance:
+            signed = (fresh_value - base_value) / max(abs(base_value), 1e-9)
+            failures.append(GateFailure(benchmark, metric, base_value,
+                                        fresh_value, signed))
+    return failures
+
+
+def gate_directories(baseline_dir: str | pathlib.Path,
+                     fresh_dir: str | pathlib.Path,
+                     tolerance: float = DEFAULT_TOLERANCE
+                     ) -> tuple[list[GateFailure], list[str]]:
+    """Gate every benchmark present in *both* directories.
+
+    Returns ``(failures, compared_benchmark_names)``.  A baseline with
+    no fresh counterpart is skipped (the smoke job may not run every
+    bench); an empty intersection returns ``([], [])`` and the CLI
+    treats that as an error — a gate that compared nothing gates
+    nothing.
+    """
+    baselines = load_snapshots(baseline_dir)
+    fresh = load_snapshots(fresh_dir)
+    failures: list[GateFailure] = []
+    compared: list[str] = []
+    for name in sorted(set(baselines) & set(fresh)):
+        compared.append(name)
+        failures.extend(compare_snapshots(name, baselines[name],
+                                          fresh[name], tolerance))
+    return failures, compared
+
+
+def format_failures(failures: typing.Sequence[GateFailure]) -> str:
+    """Human-readable failure list, one line per metric."""
+    return "\n".join(failure.describe() for failure in failures)

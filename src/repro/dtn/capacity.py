@@ -262,14 +262,17 @@ class BandwidthDtnOverlay(DtnOverlay):
         transfer = session.transfer
         session.transfer = None
         if transfer is None:
+            self._report_contact(session)
             return
         transfer.handle.cancel()
         self._inbound.get(transfer.receiver, set()).discard(
             transfer.bundle.bundle_id)
         if mode == _CLOSE_DETACH:
+            self._report_contact(session)
             return
         if mode == _CLOSE_CHURN:
             self.counters.transfers_cancelled += 1
+            self._report_contact(session)
             return
         # Link-down truncation: credit the airtime actually used.  A
         # leg still queued behind the control exchange (start in the
@@ -280,7 +283,9 @@ class BandwidthDtnOverlay(DtnOverlay):
         credited = min(transfer.send_bytes,
                        max(0, int(payload_s * self.data_rate_Bps)))
         if credited <= 0:
+            self._report_contact(session)
             return
+        session.used_bytes += credited
         self.counters.bytes_transferred += credited
         if self.meter is not None:
             self.meter.count(transfer.sender, "dtn-data", credited)
@@ -292,6 +297,20 @@ class BandwidthDtnOverlay(DtnOverlay):
             receiver_store.record_partial(transfer.bundle.bundle_id,
                                           credited)
         self.counters.transfers_truncated += 1
+        self._report_contact(session)
+
+    def _report_contact(self, session: ContactSession) -> None:
+        """Telemetry hook: one window's bytes-used vs budget.
+
+        Called once per session close, after any truncation credit.
+        The session is already popped, so bumping ``used_bytes`` here
+        never feeds back into budget arithmetic.
+        """
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.contact_bytes(session.node_a, session.node_b,
+                                    self.tech.name, session.used_bytes,
+                                    session.budget_bytes)
 
     # ------------------------------------------------------------------
     # the transfer schedule

@@ -135,6 +135,16 @@ class DtnPlane:
         self.faults = getattr(world, "faults", None)
         if self.faults is not None:
             self.faults.add_listener(self)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.register_dtn(self)
+
+    @property
+    def telemetry(self):
+        """The world's attached recorder, if any (looked up live so the
+        plane works regardless of attach order; ``None`` costs one
+        attribute read per hook site)."""
+        return getattr(self.world, "telemetry", None)
 
     # ------------------------------------------------------------------
     # injection
@@ -171,6 +181,10 @@ class DtnPlane:
                         destination=destination, created_at=self.sim.now,
                         ttl_s=ttl_s, size_bytes=size_bytes, copies=copies)
         self.counters.created += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.bundle_injected(bundle.bundle_id, source,
+                                      destination, size_bytes)
         self.stores[source].add(bundle, self.sim.now)
         self._cascade_from(source)
         return bundle
@@ -259,6 +273,9 @@ class DtnPlane:
             self.counters.transmissions += 1
             if self.meter is not None:
                 self.meter.count(carrier, "dtn-data", bundle.size_bytes)
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.bundle_forwarded(bundle.bundle_id, carrier, peer)
             peer_copy = self.router.after_transmit(
                 carrier_store, bundle, peer, now)
             if bundle.destination == peer:
@@ -277,6 +294,9 @@ class DtnPlane:
             bundle_id=bundle.bundle_id, source=bundle.source,
             destination=destination, custodian=custodian,
             created_at=bundle.created_at, delivered_at=self.sim.now)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.bundle_delivered(bundle.bundle_id, custodian)
 
     def _cascade_from(self, origin: str) -> None:
         """Re-offer outward from ``origin`` until the cluster settles.
@@ -310,7 +330,8 @@ class DtnPlane:
         if node_id in self._dead or node_id not in self.stores:
             return
         self._dead.add(node_id)
-        self.stores[node_id].drop_all()
+        victims = self.stores[node_id].drop_all()
+        self._telemetry_losses(victims, "custodian-removed")
         for peer in list(self._adjacent.get(node_id, ())):
             self.contact_down(node_id, peer)
 
@@ -345,7 +366,8 @@ class DtnPlane:
         """
         if node_id not in self.stores or node_id in self._dead:
             return
-        self.stores[node_id].wipe()
+        victims = self.stores[node_id].wipe()
+        self._telemetry_losses(victims, "custodian-crashed")
         self.router.on_crash(node_id)
         for peer in list(self._adjacent.get(node_id, ())):
             self.contact_down(node_id, peer)
@@ -355,6 +377,27 @@ class DtnPlane:
         loss already happened at crash; the bus's synthetic LinkUps
         (``World.resume_node``) reopen whatever contacts are in range.
         """
+
+    def _telemetry_losses(self, victims: list[Bundle],
+                          reason: str) -> None:
+        """Close bundle spans whose *last* living copy just vanished.
+
+        A multi-copy bundle's journey stays open while any other live
+        store still holds it; only terminal losses end the span.  Runs
+        only on (rare) churn/crash edges, O(victims × nodes).
+        """
+        telemetry = self.telemetry
+        if telemetry is None or not victims:
+            return
+        for bundle in victims:
+            if bundle.bundle_id in self.delivered:
+                continue
+            survives = any(
+                bundle.bundle_id in store
+                for name, store in self.stores.items()
+                if name not in self._dead)
+            if not survives:
+                telemetry.bundle_dropped(bundle.bundle_id, reason)
 
     # ------------------------------------------------------------------
     # result views

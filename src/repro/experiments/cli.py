@@ -53,6 +53,36 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _progress_printer(total: int, verbose: bool, show_eta: bool):
+    """Build the runner's ``progress`` callback.
+
+    Progress is *presentation only*: it prints to stderr from the
+    collecting (parent) process in grid order, driven by wall-clock —
+    none of it can reach ``runs.jsonl``/``telemetry.jsonl``, so the
+    byte-identical-at-any-worker-count contract is untouched.
+    """
+    import time
+    started = time.perf_counter()
+    done = [0]
+    width = len(str(total))
+
+    def progress(record):
+        done[0] += 1
+        parts = [f"[{done[0]:>{width}}/{total}]"]
+        if show_eta:
+            elapsed = time.perf_counter() - started
+            rate = elapsed / done[0]
+            remaining = rate * (total - done[0])
+            parts.append(f"eta {remaining:5.1f}s"
+                         if done[0] < total else f"done {elapsed:5.1f}s")
+        if verbose:
+            parts.append(f"{record['scenario']} {record['params']} "
+                         f"rep{record['repeat']}")
+        print("  " + " ".join(parts), file=sys.stderr)
+
+    return progress
+
+
 def cmd_run(args) -> int:
     spec = get_spec(args.spec)
     if args.seed is not None:
@@ -63,17 +93,14 @@ def cmd_run(args) -> int:
     print(f"spec {spec.name!r}: {total} runs, workload "
           f"{spec.workload!r}, {args.workers} worker(s) -> {out_dir}")
 
-    done = [0]
-
-    def progress(record):
-        done[0] += 1
-        print(f"  [{done[0]:>{len(str(total))}}/{total}] "
-              f"{record['scenario']} {record['params']} "
-              f"rep{record['repeat']}", file=sys.stderr)
+    progress = None
+    if args.verbose or args.progress:
+        progress = _progress_printer(total, verbose=args.verbose,
+                                     show_eta=args.progress)
 
     results = runner_mod.run_spec(spec, workers=args.workers,
-                                  progress=progress if args.verbose
-                                  else None)
+                                  progress=progress,
+                                  telemetry=args.telemetry)
     records = [result.record for result in results]
     jsonl_path = runner_mod.write_jsonl(records, out_dir / "runs.jsonl")
     rows = report_mod.aggregate(records)
@@ -83,6 +110,10 @@ def cmd_run(args) -> int:
         f"{spec.name}: {len(records)} runs "
         f"(total simulated work {wall:.1f}s of wall-clock)", rows))
     print(f"\nwrote {jsonl_path} and {csv_path}")
+    if args.telemetry:
+        telemetry_path, timeline_path = runner_mod.write_telemetry(
+            results, out_dir)
+        print(f"wrote {telemetry_path} and {timeline_path}")
     return 0
 
 
@@ -125,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="override the spec's master seed")
     run_parser.add_argument("--verbose", action="store_true",
                             help="print per-run progress to stderr")
+    run_parser.add_argument("--progress", action="store_true",
+                            help="print completed/total with ETA to "
+                                 "stderr (never into recorded output)")
+    run_parser.add_argument("--telemetry", action="store_true",
+                            help="attach passive recorders and write "
+                                 "telemetry.jsonl + timeline.csv next "
+                                 "to runs.jsonl (recorded metrics are "
+                                 "unchanged)")
 
     report_parser = commands.add_parser(
         "report", help="re-aggregate an existing runs.jsonl")

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import functools
 import json
 import pathlib
 import time
@@ -25,31 +26,58 @@ import typing
 
 from repro.experiments.spec import ExperimentSpec, RunPoint
 from repro.experiments.workloads import get_workload
+from repro.obs import runtime as obs_runtime
 
 
 @dataclasses.dataclass(frozen=True)
 class RunResult:
-    """One finished run: the deterministic record + timing side channel."""
+    """One finished run: the deterministic record + side channels."""
 
     record: dict[str, object]    #: JSON-safe, deterministic result row
     timings: dict[str, float]    #: wall-clock info (never serialised)
+    #: Telemetry rows recorded during the run (empty unless the spec ran
+    #: with ``telemetry=True``).  Deterministic — rows carry sim times
+    #: and event counts only; the profiler's wall-clock attribution is
+    #: folded into :attr:`timings` instead.
+    telemetry: list[dict[str, object]] = dataclasses.field(
+        default_factory=list)
 
 
-def execute_point(point_dict: dict) -> tuple[dict, dict]:
+def execute_point(point_dict: dict,
+                  telemetry: bool = False) -> tuple[dict, dict, list]:
     """Execute one run; the unit of work shipped to worker processes.
 
-    Returns ``(record, timings)``.  A workload's reserved ``"timings"``
-    metric is stripped into the timing side channel along with the
-    measured ``wall_s``, keeping the record deterministic.
+    Returns ``(record, timings, telemetry_rows)``.  A workload's
+    reserved ``"timings"`` metric is stripped into the timing side
+    channel along with the measured ``wall_s``, keeping the record
+    deterministic.
+
+    With ``telemetry=True`` a :class:`~repro.obs.runtime.TelemetryContext`
+    is active around the workload call, so every scenario the workload
+    builds adopts a passive recorder.  The collected rows come back
+    tagged with the run's grid index; recorded metrics are unchanged by
+    construction (recorders only observe — asserted in
+    ``tests/test_obs.py``).
     """
     point = RunPoint.from_dict(point_dict)
     workload = get_workload(point.workload)
+    context = (obs_runtime.activate(obs_runtime.TelemetryContext())
+               if telemetry else None)
     started = time.perf_counter()
-    metrics = dict(workload(point))
+    try:
+        metrics = dict(workload(point))
+    finally:
+        if context is not None:
+            obs_runtime.deactivate()
     timings = {"wall_s": time.perf_counter() - started}
     extra = metrics.pop("timings", None)
     if extra:
         timings.update(extra)
+    telemetry_rows: list[dict[str, object]] = []
+    if context is not None:
+        rows, profile_timings = context.collect()
+        telemetry_rows = [{"run": point.index, **row} for row in rows]
+        timings.update(profile_timings)
     record = {
         "spec": point.spec,
         "workload": point.workload,
@@ -60,34 +88,39 @@ def execute_point(point_dict: dict) -> tuple[dict, dict]:
         "seed": point.seed,
         "metrics": metrics,
     }
-    return record, timings
+    return record, timings, telemetry_rows
 
 
 def run_spec(spec: ExperimentSpec, workers: int = 1,
-             progress: typing.Callable[[dict], None] | None = None
-             ) -> list[RunResult]:
+             progress: typing.Callable[[dict], None] | None = None,
+             telemetry: bool = False) -> list[RunResult]:
     """Execute every run of ``spec``; results come back in grid order.
 
     ``progress``, if given, is called with each finished record (in grid
     order).  ``workers=1`` runs inline — no pool, easiest to debug.
+    ``telemetry=True`` attaches a passive recorder to every scenario
+    built by every run (see :mod:`repro.obs`); rows collect per run and
+    stay byte-identical at any worker count because they contain only
+    sim-time-deterministic data and travel back in grid order.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     point_dicts = [point.as_dict() for point in spec.expand()]
+    execute = functools.partial(execute_point, telemetry=telemetry)
     results: list[RunResult] = []
     if workers == 1:
         for point_dict in point_dicts:
-            record, timings = execute_point(point_dict)
+            record, timings, rows = execute(point_dict)
             if progress is not None:
                 progress(record)
-            results.append(RunResult(record, timings))
+            results.append(RunResult(record, timings, rows))
         return results
     with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers) as pool:
-        for record, timings in pool.map(execute_point, point_dicts):
+        for record, timings, rows in pool.map(execute, point_dicts):
             if progress is not None:
                 progress(record)
-            results.append(RunResult(record, timings))
+            results.append(RunResult(record, timings, rows))
     return results
 
 
@@ -119,3 +152,32 @@ def read_jsonl(path: str | pathlib.Path) -> list[dict]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+# ----------------------------------------------------------------------
+# telemetry sinks
+# ----------------------------------------------------------------------
+def write_telemetry(results: typing.Sequence[RunResult],
+                    out_dir: str | pathlib.Path
+                    ) -> tuple[pathlib.Path, pathlib.Path]:
+    """Write ``telemetry.jsonl`` + ``timeline.csv`` for a finished sweep.
+
+    ``telemetry.jsonl`` holds every recorded row (samples, spans,
+    profile counts) in grid order, each tagged with its run index —
+    byte-identical at any worker count, same argument as ``runs.jsonl``.
+    ``timeline.csv`` is the sample rows only, flattened onto the fixed
+    :data:`repro.obs.TIMELINE_FIELDS` column set for spreadsheet/pandas
+    consumption.
+    """
+    from repro.metrics.tables import render_csv
+    from repro.obs import TIMELINE_FIELDS
+
+    out_dir = pathlib.Path(out_dir)
+    rows = [row for result in results for row in result.telemetry]
+    jsonl_path = write_jsonl(rows, out_dir / "telemetry.jsonl")
+    headers = ("run", "leg") + TIMELINE_FIELDS
+    csv_rows = [[row.get(header) for header in headers]
+                for row in rows if row.get("type") == "sample"]
+    csv_path = out_dir / "timeline.csv"
+    csv_path.write_text(render_csv(headers, csv_rows), encoding="utf-8")
+    return jsonl_path, csv_path

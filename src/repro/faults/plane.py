@@ -168,6 +168,9 @@ class FaultPlane:
             return
         self._crashed.add(node_id)
         self.counters.crashes += 1
+        telemetry = getattr(self.world, "telemetry", None)
+        if telemetry is not None:
+            telemetry.fault_down(node_id, "crash")
         for listener in self._listeners:
             listener.on_crash(node_id)
         self.world.suspend_node(node_id)
@@ -186,6 +189,9 @@ class FaultPlane:
         if not self.world.has_node(node_id):
             return
         self.counters.reboots += 1
+        telemetry = getattr(self.world, "telemetry", None)
+        if telemetry is not None:
+            telemetry.fault_up(node_id)
         for listener in self._listeners:
             listener.on_reboot(node_id)
         self.world.resume_node(node_id)

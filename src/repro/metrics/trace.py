@@ -25,10 +25,16 @@ class TraceEvent:
 
 
 class EventTrace:
-    """Append-only list of :class:`TraceEvent` with query helpers."""
+    """Append-only list of :class:`TraceEvent` with query helpers.
+
+    Taps are passive observers (the telemetry plane): each recorded
+    event is handed to every registered tap *after* it is appended.
+    Taps must not record back into the trace.
+    """
 
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
+        self._taps: list[typing.Callable[[TraceEvent], None]] = []
 
     def record(self, time: float, node: str, kind: str,
                **detail: object) -> TraceEvent:
@@ -36,7 +42,20 @@ class EventTrace:
         event = TraceEvent(time=time, node=node, kind=kind,
                            detail=dict(detail))
         self._events.append(event)
+        for tap in self._taps:
+            tap(event)
         return event
+
+    def add_tap(self, tap: typing.Callable[[TraceEvent], None]) -> None:
+        """Register a passive observer of newly recorded events."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: typing.Callable[[TraceEvent], None]) -> None:
+        """Unregister a tap (no-op if absent)."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     def __len__(self) -> int:
         return len(self._events)
@@ -68,6 +87,10 @@ class EventTrace:
     def times(self, kind: str, node: str | None = None) -> list[float]:
         """Timestamps of matching events."""
         return [event.time for event in self.events(kind=kind, node=node)]
+
+    def kinds(self) -> list[str]:
+        """Every distinct event kind recorded, sorted."""
+        return sorted({event.kind for event in self._events})
 
     def clear(self) -> None:
         """Drop all events."""

@@ -124,6 +124,10 @@ class ConnectivityBus:
         # alive but unscheduled until resume_node re-arms them.
         self._held: set[int] = set()
         self._next_id = 1
+        # Passive taps (telemetry): notified of every fired event but
+        # invisible to BusCounters and unable to affect scheduling, so
+        # attaching a recorder cannot perturb any watch-count metric.
+        self._taps: list[typing.Callable[[ConnectivityEvent], None]] = []
 
     # ------------------------------------------------------------------
     # watch registration
@@ -361,6 +365,8 @@ class ConnectivityBus:
                                   watch.threshold)
         watch.last_fired = event
         self.stats.fired += 1
+        for tap in self._taps:
+            tap(event)
         if watch.once:
             watch.active = False
             self._forget(watch)
@@ -477,6 +483,8 @@ class ConnectivityBus:
         watch._handle = None
         watch.last_fired = event
         self.stats.fired += 1
+        for tap in self._taps:
+            tap(event)
         if watch.once:
             watch.active = False
             self._forget(watch)
@@ -485,6 +493,27 @@ class ConnectivityBus:
         watch.callback(event)
         if watch.active:
             self._arm(watch)
+
+    # ------------------------------------------------------------------
+    # passive taps (telemetry)
+    # ------------------------------------------------------------------
+    def add_tap(self,
+                tap: typing.Callable[[ConnectivityEvent], None]) -> None:
+        """Register a passive observer of every fired event.
+
+        Taps see the :class:`ConnectivityEvent` *before* the owning
+        watch's callback runs and never touch counters, watches or the
+        kernel — the telemetry plane's non-perturbation contract.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self,
+                   tap: typing.Callable[[ConnectivityEvent], None]) -> None:
+        """Unregister a tap (no-op if absent)."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # introspection

@@ -87,6 +87,10 @@ class World:
         #: :class:`repro.faults.FaultPlane`; stays ``None`` on a
         #: fault-free world — zero-rate configs never touch it).
         self.faults = None
+        #: Attached telemetry recorder, if any (set by
+        #: :class:`repro.obs.Telemetry`; stays ``None`` when no recorder
+        #: observes this world — producers check before every hook call).
+        self.telemetry = None
         self.stats = WorldStats()
         #: Crossing-time solver and connectivity-event bus (PR 3): link
         #: and quality-threshold changes are *predicted and scheduled*

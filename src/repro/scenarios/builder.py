@@ -24,6 +24,7 @@ from repro.metrics.counters import TrafficMeter
 from repro.metrics.trace import EventTrace
 from repro.mobility.base import MobilityModel
 from repro.mobility.static import StaticPosition
+from repro.obs import runtime as obs_runtime
 from repro.radio.quality import QualityModel
 from repro.radio.world import World
 from repro.sim.kernel import Simulator
@@ -38,6 +39,13 @@ class Scenario:
         self.world = World(self.sim, quality_model=quality_model)
         self.fabric = Fabric(self.world)
         self.nodes: dict[str, PeerHoodNode] = {}
+        # Telemetry adoption: when the experiments runner activated a
+        # recording context in this process (--telemetry), every
+        # scenario built under it gets a passive recorder.  Recorders
+        # observe only — recorded metrics stay byte-identical.
+        context = obs_runtime.active()
+        if context is not None:
+            context.adopt(self)
 
     # ------------------------------------------------------------------
     # construction

@@ -73,7 +73,17 @@ class Simulator:
         self._stopped = False
         #: Events popped and run by :meth:`step` — the kernel-wakeup
         #: figure the event-driven connectivity benchmarks compare.
+        #: Observer events (telemetry sampling) are excluded.
         self.events_processed = 0
+        #: Observer events still sitting on the heap; maintained so
+        #: :meth:`pending_real_events` stays O(1).
+        self._observer_pending = 0
+        #: Optional :class:`repro.obs.profile.SubsystemProfiler`.  When
+        #: attached, :meth:`step` attributes each event's callback work
+        #: (count + wall-clock) to a subsystem label derived from the
+        #: event name.  Wall-clock rides the timings side-channel only,
+        #: never recorded output.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # clock & scheduling
@@ -113,7 +123,7 @@ class Simulator:
         return AllOf(self, events)
 
     def call_at(self, when: float, callback: typing.Callable[[], None],
-                name: str = "call-at") -> ScheduledCall:
+                name: str = "call-at", observer: bool = False) -> ScheduledCall:
         """Schedule a bare callback at absolute virtual time ``when``.
 
         The connectivity bus uses this to turn predicted link/quality
@@ -121,6 +131,11 @@ class Simulator:
         whose ``cancel()`` voids the callback (the heap entry stays and
         fires as a no-op — O(1) cancellation).  ``when`` may equal the
         current time; scheduling in the past raises.
+
+        ``observer=True`` marks the event as belonging to the telemetry
+        plane: it is excluded from :attr:`events_processed` and from
+        :meth:`pending_real_events`, so recorders can sample on the heap
+        without perturbing the wakeup counts the benchmarks gate on.
         """
         if when < self._now:
             raise SimulationError(
@@ -129,6 +144,9 @@ class Simulator:
         event = Event(self, name)
         event.callbacks.append(handle._fire)
         event._triggered = True
+        if observer:
+            event.observer = True
+            self._observer_pending += 1
         self._schedule(event, delay=when - self._now)
         return handle
 
@@ -166,18 +184,37 @@ class Simulator:
             raise SimulationError(
                 f"time went backwards: {when} < {self._now}")
         self._now = when
-        self.events_processed += 1
+        if event.observer:
+            self._observer_pending -= 1
+        else:
+            self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        profiler = self.profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            with profiler.measure(event.name, observer=event.observer):
+                for callback in callbacks:
+                    callback(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         if not self._heap:
             return float("inf")
         return self._heap[0][0]
+
+    def pending_real_events(self) -> int:
+        """Heap entries that are *not* telemetry observer events.
+
+        Periodic samplers use this to decide whether to re-arm: once only
+        observer events remain, the simulated workload has drained and a
+        self-rescheduling sampler must stop or ``run(until=None)`` would
+        never terminate.
+        """
+        return len(self._heap) - self._observer_pending
 
     def run(self, until: float | Event | None = None) -> object:
         """Run the simulation.

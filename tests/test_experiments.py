@@ -161,11 +161,12 @@ def test_runner_output_identical_for_1_and_4_workers(tmp_path):
 
 def test_execute_point_record_shape_and_timings_split():
     point = _tiny_spec().expand()[0]
-    record, timings = execute_point(point.as_dict())
+    record, timings, telemetry_rows = execute_point(point.as_dict())
     assert record["scenario"] == "line_topology"
     assert record["seed"] == point.seed
     assert "timings" not in record["metrics"]
     assert timings["wall_s"] >= 0.0
+    assert telemetry_rows == []   # telemetry is opt-in
     assert 0.0 <= record["metrics"]["awareness_mean"] <= 1.0
     json.dumps(record)   # must be JSON-safe
 
