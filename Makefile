@@ -9,6 +9,7 @@
 #   make bench-dtn    just the DTN delivery/wakeup benchmark
 #   make bench-capacity  just the bandwidth-limited contact benchmark
 #   make bench-fault  just the fault-injection differential benchmark
+#   make bench-vector just the numpy batch-geometry benchmark
 #   make sweep        run the demo_sweep experiment campaign (4 workers)
 #   make dtn-sweep    run the DTN routing-baseline campaign (4 workers)
 #   make bandwidth-sweep  run the bandwidth-limited DTN campaign
@@ -24,8 +25,8 @@ export PYTHONPATH := src
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-all bench bench-scale bench-events bench-dtn \
-        bench-capacity bench-fault sweep dtn-sweep bandwidth-sweep \
-        lint docs-check report gate quickstart
+        bench-capacity bench-fault bench-vector sweep dtn-sweep \
+        bandwidth-sweep lint docs-check report gate quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -67,6 +68,13 @@ bench-capacity:
 # the sweep's repeat count (the CI bench-smoke job uses 1).
 bench-fault:
 	$(PYTHON) -m pytest benchmarks/bench_fault_tolerance.py -q -s
+
+# Numpy batch geometry vs the scalar grid + solver, gated >= 10x at the
+# full N=2000 sweep (writes BENCH_vectorized.json).  BENCH_VECTOR_N and
+# BENCH_VECTOR_CITY_N override the sweep / city-day sizes (the CI
+# bench-smoke job runs 320 / 1200, where the floor relaxes to 5x).
+bench-vector:
+	$(PYTHON) -m pytest benchmarks/bench_vectorized.py -q -s
 
 # The reference experiment campaign: 24 runs (2 scenarios x 2 node
 # counts x 2 radio mixes x 3 repeats) -> results/demo_sweep/.  Output

@@ -1,0 +1,167 @@
+"""Vectorized kernel hot path — numpy batch geometry vs the scalar grid.
+
+Not a paper artifact: this benchmark backs the ROADMAP's 10⁴–10⁵-node
+goal.  Two runs, both through the experiment runner:
+
+* the ``vectorized_neighbors`` sweep on the dense plaza at growing N
+  (constant crowd density) — each round does one whole-population
+  discovery sweep twice, batch engine vs per-node grid queries, with
+  identical neighbor sets asserted inside the workload, then solves
+  every in-range pair's next crossing twice, batch quadratic solver vs
+  the scalar closed form, with element-wise identical results asserted;
+* the same workload on the ``city_day`` scenario at the flagship size —
+  the mixed pedestrian/vehicle/kiosk population the batch engine exists
+  for, proving the vectorized path completes (and still agrees) at N
+  the scalar loop can only limp through.
+
+``BENCH_vectorized.json`` at the repo root records candidate-check
+counts and profiler event totals (deterministic, regression-gated) plus
+the wall-clock speedups (timings side channel, named ``*_wall``/
+``*_ms`` so the gate skips them).  ``N`` defaults to 2000 for the sweep
+and 10000 for the city; the CI bench-smoke job shrinks both via the
+environment, where the speedup floor relaxes from 10× to 5× (less
+Python overhead to amortise at small N).
+"""
+
+import os
+import pathlib
+
+from repro.analysis.snapshots import write_bench_snapshot
+from repro.experiments import ExperimentSpec, run_spec
+from paperbench import print_table
+
+SNAPSHOT_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "BENCH_vectorized.json")
+
+#: Largest sweep size; the CI smoke job shrinks it via the environment.
+SWEEP_N = int(os.environ.get("BENCH_VECTOR_N", "2000"))
+#: City-day flagship size (the 10⁴-node acceptance run).
+CITY_N = int(os.environ.get("BENCH_VECTOR_CITY_N", "10000"))
+#: Discovery-sweep speedup floor: 10× at the full N=2000 (the PR 8
+#: acceptance criterion), 5× at CI smoke sizes.
+SPEEDUP_FLOOR = 10.0 if SWEEP_N >= 2000 else 5.0
+
+
+def _spec(name, scenario, counts):
+    return ExperimentSpec(
+        name=name,
+        workload="vectorized_neighbors",
+        scenarios=(scenario,),
+        axes={"count": tuple(counts)},
+        repeats=1,
+        master_seed=23,
+        settings={"rounds": 3, "step_s": 15.0},
+        description="vectorized-kernel benchmark run")
+
+
+def _run(spec):
+    rows = []
+    for result in run_spec(spec):
+        metrics = result.record["metrics"]
+        timings = result.timings
+        rows.append({
+            "n": metrics["nodes"],
+            "vector_checks": metrics["vector_candidate_checks"],
+            "grid_checks": metrics["grid_candidate_checks"],
+            "neighbor_links": metrics["neighbor_links"],
+            "solved_pairs": metrics["solved_pairs"],
+            "crossings_found": metrics["crossings_found"],
+            "events_vector_position": metrics["events_vector_position"],
+            "events_vector_solve": metrics["events_vector_solve"],
+            "vector_ms": timings["vector_ms"],
+            "grid_ms": timings["grid_ms"],
+            "solve_vector_ms": timings["solve_vector_ms"],
+            "solve_scalar_ms": timings["solve_scalar_ms"],
+            "wall_s": timings["wall_s"],
+        })
+    return rows
+
+
+def run_benchmark():
+    """Both runs; returns ``(sweep_rows, city_row)``."""
+    sweep = _run(_spec("vector_bench_sweep", "dense_plaza",
+                       (max(50, SWEEP_N // 4), SWEEP_N)))
+    city = _run(_spec("vector_bench_city", "city_day", (CITY_N,)))[0]
+    return sweep, city
+
+
+def write_snapshot(sweep, city, path=SNAPSHOT_PATH):
+    """Persist the perf snapshot for cross-PR trajectory tracking."""
+
+    def snapshot_row(row):
+        return {
+            "n": row["n"],
+            "vector_candidate_checks_per_round": row["vector_checks"],
+            "grid_candidate_checks_per_round": row["grid_checks"],
+            "neighbor_links": row["neighbor_links"],
+            "solved_pairs": row["solved_pairs"],
+            "crossings_found": row["crossings_found"],
+            "events_vector_position": row["events_vector_position"],
+            "events_vector_solve": row["events_vector_solve"],
+            "vector_ms_per_round": round(row["vector_ms"], 3),
+            "grid_ms_per_round": round(row["grid_ms"], 3),
+            "speedup_wall": round(row["grid_ms"] / row["vector_ms"], 2),
+            "solve_vector_ms": round(row["solve_vector_ms"], 3),
+            "solve_scalar_ms": round(row["solve_scalar_ms"], 3),
+            "solver_speedup_wall": round(
+                row["solve_scalar_ms"] / row["solve_vector_ms"], 2),
+            "run_wall_s": round(row["wall_s"], 3),
+        }
+
+    payload = {
+        "spec": "vector_sweep",
+        "rows": [snapshot_row(row) for row in sweep],
+        "city_day": snapshot_row(city),
+    }
+    write_bench_snapshot("vectorized", payload, path,
+                         n=sweep[-1]["n"], repeats=1)
+    return path
+
+
+def test_vectorized_kernel_beats_scalar_path(benchmark):
+    sweep, city = benchmark.pedantic(run_benchmark, rounds=1, iterations=1,
+                                     warmup_rounds=0)
+    write_snapshot(sweep, city)
+    table = []
+    for row in sweep + [city]:
+        table.append([
+            row["n"],
+            row["vector_checks"], row["grid_checks"],
+            f"{row['vector_ms']:.2f}", f"{row['grid_ms']:.2f}",
+            f"{row['grid_ms'] / row['vector_ms']:.1f}x",
+            f"{row['solve_scalar_ms'] / row['solve_vector_ms']:.1f}x",
+        ])
+    print_table(
+        "Vectorized: whole-population discovery, batch engine vs grid",
+        ["N", "batch cand-checks/round", "grid cand-checks/round",
+         "batch ms/round", "grid ms/round", "discovery speedup",
+         "solver speedup"],
+        table)
+    # Equivalence (identical neighbor sets per node and round, identical
+    # crossings per pair) is asserted *inside* the workload — reaching
+    # this point means every run agreed.  The gates here are about speed
+    # and about the candidate-generation contract.
+    largest = sweep[-1]
+    assert largest["n"] == SWEEP_N
+    speedup = largest["grid_ms"] / largest["vector_ms"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch discovery speedup {speedup:.1f}x below "
+        f"{SPEEDUP_FLOOR}x at N={largest['n']}")
+    # The batch join generates each unordered candidate pair once where
+    # the grid checks each direction — never *more* work than scalar.
+    for row in sweep + [city]:
+        assert row["vector_checks"] <= row["grid_checks"], row
+    # The batch quadratic solver amortises segment generation across the
+    # pair list; it must never lose to the per-pair scalar loop.
+    solver_speedup = (largest["solve_scalar_ms"]
+                      / largest["solve_vector_ms"])
+    assert solver_speedup >= 1.2, (
+        f"batch solver speedup {solver_speedup:.1f}x at N={largest['n']}")
+    # The city-day acceptance run: the flagship mixed population
+    # completed its sweeps under the vectorized path, still scalar-equal.
+    assert city["n"] == CITY_N
+    assert city["neighbor_links"] > 0 and city["solved_pairs"] > 0
+    benchmark.extra_info["speedup_at_max_n"] = round(speedup, 1)
+    benchmark.extra_info["rows"] = [
+        {k: v for k, v in row.items() if k != "wall_s"}
+        for row in sweep + [city]]

@@ -19,6 +19,7 @@ import typing
 
 from repro.scenarios import (
     Scenario,
+    city_day,
     commuter_corridor,
     crowded_festival,
     dense_plaza,
@@ -258,6 +259,24 @@ register_scenario(
         Param("technologies", tuple, ("wlan",), "radio mix", element=str),
     ),
     summary="fast vehicles strung along kilometres of road")
+
+register_scenario(
+    "city_day", city_day,
+    params=(
+        # Schema default is deliberately small (the registry self-test
+        # builds every scenario at its defaults); the factory's own
+        # default is the 10 000-node flagship size.
+        Param("count", int, 2000, "devices in the city"),
+        Param("density_per_m2", float, 500.0 / (120.0 * 120.0),
+              "devices per square metre (sets the area from count)"),
+        Param("pedestrian_fraction", float, 0.7,
+              "fraction roaming as random-waypoint pedestrians"),
+        Param("vehicle_fraction", float, 0.2,
+              "fraction shuttling scripted lane runs"),
+        _TECHS,
+    ),
+    summary=("city-scale mixed population (pedestrians, vehicles, "
+             "kiosks) at constant density — the batch geometry regime"))
 
 register_scenario(
     "replay_arena", replay_arena,

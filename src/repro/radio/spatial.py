@@ -51,11 +51,18 @@ class WorldStats:
     ----------
     distance_checks:
         Exact point-to-point distance computations performed by neighbor
-        queries (both grid-backed and brute-force reference paths).  This
-        is the figure the scale benchmark compares: the grid's win is
-        fewer distance checks per discovery round.
+        queries (grid-backed, brute-force and batched paths).  This is
+        the figure the scale benchmark compares: the grid's win is fewer
+        distance checks per discovery round.  The batch engine
+        (:mod:`repro.radio.vectorized`) counts each evaluated
+        *unordered* candidate pair once, where N per-node scalar queries
+        evaluate each pair once per direction — a whole-population batch
+        sweep therefore reports about half the scalar count for
+        identical work.
     neighbor_queries:
-        Number of :meth:`~repro.radio.world.World.neighbors` calls.
+        Number of :meth:`~repro.radio.world.World.neighbors` calls; a
+        whole-population batch sweep counts one per member node, so the
+        figure stays comparable across paths.
     grid_refreshes:
         Times a grid re-synced its mobile nodes because the virtual
         clock had advanced since the previous query.

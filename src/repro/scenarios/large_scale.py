@@ -6,7 +6,7 @@ workloads that stress the discovery layer at hundreds of devices — the
 regime where the seed's O(N²) pairwise neighbor scan collapsed and the
 spatial-grid index (:mod:`repro.radio.spatial`) is load-bearing.
 
-Three density regimes, chosen to exercise the grid differently:
+Four regimes, chosen to exercise the geometry layer differently:
 
 * :func:`dense_plaza` — many slow pedestrians packed into a small square;
   high cell occupancy, neighbor lists dominated by genuine neighbors.
@@ -17,6 +17,10 @@ Three density regimes, chosen to exercise the grid differently:
   walkers arriving in a burst and leaving again; exercises mid-run
   ``add_node``/``remove_node`` churn, including spatial-grid insertion
   and eviction while discovery loops are running.
+* :func:`city_day` — a mixed city-scale population (pedestrians,
+  scripted vehicles, static kiosks) at constant *density* regardless of
+  N; the 10⁴–10⁵-node regime the numpy batch geometry engine
+  (:mod:`repro.radio.vectorized`) exists for.
 
 All builders return an unstarted :class:`~repro.scenarios.builder.
 Scenario` (call ``start_all()``); distances in metres, times in
@@ -25,10 +29,11 @@ sim-seconds.
 
 from __future__ import annotations
 
+import math
 import typing
 
 from repro.core.config import DaemonConfig
-from repro.mobility.linear import LinearMovement
+from repro.mobility.linear import LinearMovement, PathMovement
 from repro.mobility.waypoint import RandomWaypoint
 from repro.scenarios.builder import Scenario
 
@@ -153,4 +158,81 @@ def flash_crowd(base_count: int = 20, crowd_count: int = 200,
             yield sim.timeout(rng.expovariate(1.0 / mean_interarrival_s))
 
     scenario.sim.spawn(churn(scenario.sim), name="flash-crowd-churn")
+    return scenario
+
+
+def city_day(count: int = 10000,
+             density_per_m2: float = 500.0 / (120.0 * 120.0),
+             seed: int = 0,
+             technologies: typing.Sequence[str] = ("bluetooth",),
+             pedestrian_fraction: float = 0.7,
+             vehicle_fraction: float = 0.2,
+             config: DaemonConfig | None = None) -> Scenario:
+    """A city-scale mixed population: the batch geometry engine's regime.
+
+    ``count`` devices on a square sized so the area density matches
+    ``density_per_m2`` (the default keeps dense-plaza-like occupancy —
+    ~500 devices per 120 m square — regardless of ``count``, so the
+    *neighbor* structure stays realistic while N scales to 10⁴–10⁵):
+
+    * ``pedestrian_fraction`` random-waypoint pedestrians (``p0`` …) at
+      walking pace;
+    * ``vehicle_fraction`` vehicles (``v0`` …) shuttling scripted
+      east–west lane runs at 8–14 m/s — two round trips, then parked
+      (their :class:`~repro.mobility.linear.PathMovement` settles, so
+      the contact plane can park their watches);
+    * the remainder static kiosks (``k0`` …) on a regular grid.
+
+    At ``count=10000`` the scalar discovery sweep does ~10⁴ Python-level
+    neighbor queries per round; this scenario exists to show the
+    vectorized path (:mod:`repro.radio.vectorized`) completing the same
+    sweep as a handful of array operations.  All distances metres, times
+    sim-seconds.
+    """
+    if count < 3:
+        raise ValueError(f"city_day needs at least 3 devices, got {count}")
+    if density_per_m2 <= 0:
+        raise ValueError(f"density must be positive: {density_per_m2}")
+    if not (0.0 <= pedestrian_fraction <= 1.0
+            and 0.0 <= vehicle_fraction <= 1.0
+            and pedestrian_fraction + vehicle_fraction <= 1.0):
+        raise ValueError(
+            f"fractions must be in [0, 1] and sum <= 1: "
+            f"{pedestrian_fraction}, {vehicle_fraction}")
+    area = math.sqrt(count / density_per_m2)
+    scenario = Scenario(seed=seed)
+    pedestrians = int(count * pedestrian_fraction)
+    vehicles = int(count * vehicle_fraction)
+    kiosks = count - pedestrians - vehicles
+    for index in range(pedestrians):
+        mobility = RandomWaypoint(
+            scenario.sim.rng(f"city/ped/{index}"), area=(area, area),
+            speed_range=(0.5, 2.0), pause_range=(0.0, 30.0))
+        scenario.add_node(f"p{index}", mobility=mobility,
+                          technologies=technologies,
+                          mobility_class="dynamic", config=config)
+    lane_rng = scenario.sim.rng("city/lanes")
+    for index in range(vehicles):
+        lane_y = lane_rng.uniform(0.0, area)
+        start_x = lane_rng.uniform(0.0, area)
+        speed = lane_rng.uniform(8.0, 14.0)
+        # Two east–west round trips from start_x, then parked at home.
+        waypoints = [(0.0, (start_x, lane_y))]
+        clock = 0.0
+        for target_x in (area, 0.0, area, 0.0, start_x):
+            previous_x = waypoints[-1][1][0]
+            clock += abs(target_x - previous_x) / speed
+            waypoints.append((clock, (target_x, lane_y)))
+        scenario.add_node(f"v{index}", mobility=PathMovement(waypoints),
+                          technologies=technologies,
+                          mobility_class="dynamic", config=config)
+    if kiosks:
+        columns = max(1, math.ceil(math.sqrt(kiosks)))
+        spacing = area / columns
+        for index in range(kiosks):
+            position = ((index % columns + 0.5) * spacing,
+                        (index // columns + 0.5) * spacing)
+            scenario.add_node(f"k{index}", position=position,
+                              technologies=technologies,
+                              mobility_class="static", config=config)
     return scenario
