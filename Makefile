@@ -13,6 +13,7 @@
 #   make sweep        run the demo_sweep experiment campaign (4 workers)
 #   make dtn-sweep    run the DTN routing-baseline campaign (4 workers)
 #   make bandwidth-sweep  run the bandwidth-limited DTN campaign
+#   make resume-smoke interrupt/resume + cache-hit differential smoke
 #   make lint         byte-compile every source tree (syntax/tab check)
 #   make docs-check   verify intra-repo links in README + docs/*.md
 #   make report       render results/report/REPORT.md + REPORT.html
@@ -26,7 +27,8 @@ BENCHES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-all bench bench-scale bench-events bench-dtn \
         bench-capacity bench-fault bench-vector sweep dtn-sweep \
-        bandwidth-sweep lint docs-check report gate quickstart
+        bandwidth-sweep resume-smoke lint docs-check report gate \
+        quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -78,7 +80,9 @@ bench-vector:
 
 # The reference experiment campaign: 24 runs (2 scenarios x 2 node
 # counts x 2 radio mixes x 3 repeats) -> results/demo_sweep/.  Output
-# is byte-identical at any --workers value.
+# is byte-identical at any --workers value, and the campaign layer
+# journals + memoizes cells, so re-runs and interrupted runs only
+# execute what is missing.
 sweep:
 	$(PYTHON) -m repro.experiments run demo_sweep --workers 4
 
@@ -91,6 +95,14 @@ dtn-sweep:
 # contact windows price byte budgets -> results/bandwidth_sweep/.
 bandwidth-sweep:
 	$(PYTHON) -m repro.experiments run bandwidth_sweep --workers 4
+
+# Campaign crash/resume differential: runs delay_sweep, SIGTERMs it
+# after the first journal commit, resumes, and asserts the resumed
+# output is byte-identical to a clean run while executing only the
+# uncommitted cells — then re-runs against the clean cache asserting
+# 100% hits (mirrors the CI resume-smoke job).
+resume-smoke:
+	$(PYTHON) tools/resume_smoke.py
 
 # The container bakes in no external linter (flake8/ruff); compileall +
 # tabnanny catch syntax errors and indentation mixups without new deps.

@@ -18,10 +18,14 @@ root:
    the multi-copy (spray) and predictive (PRoPHET) routers must hold a
    mean delivery ratio at least direct-delivery's: single-custodian
    delivery has no fallback when its one carrier dies.
-4. **Worker-count determinism** — the sweep's ``runs.jsonl`` and
-   aggregate CSV bytes must match between 1 and 2 workers; fault
-   schedules ride named RNG sub-streams, so the determinism contract
-   extends to fault-injected campaigns.
+4. **Worker-count and cache-state determinism** — the sweep's
+   ``runs.jsonl`` and aggregate CSV bytes must match across a 1-worker
+   campaign, a 2-worker campaign and a fully-cached re-run (which must
+   execute zero cells); fault schedules ride named RNG sub-streams and
+   cached cells are position-independent, so the byte-identity
+   contract extends to fault-injected, memoized campaigns.  The
+   cached leg's cell accounting lands in the snapshot envelope's
+   ``campaign`` field.
 
 ``BENCH_FAULT_REPEATS`` shrinks the sweep's repeat count in CI.
 """
@@ -32,8 +36,7 @@ import os
 import pathlib
 
 from repro.analysis.snapshots import write_bench_snapshot
-from repro.experiments.report import aggregate, write_csv
-from repro.experiments.runner import run_spec, write_jsonl
+from repro.experiments.campaign import run_campaign
 from repro.experiments.spec import RunPoint
 from repro.experiments.specs import get_spec
 from repro.experiments.workloads import get_workload
@@ -86,23 +89,35 @@ def run_zero_rate_identity():
 
 
 def run_sweep(tmp_dir: pathlib.Path):
-    """Gate 4: fault_sweep at 1 and 2 workers; returns the records."""
+    """Gate 4: fault_sweep across workers and cache states.
+
+    Three campaign legs — 1 worker (populating a fresh run cache),
+    2 workers (uncached), and a fully-cached 1-worker re-run — must
+    produce byte-identical ``runs.jsonl`` + ``summary.csv``, and the
+    cached leg must execute zero workload calls.  Returns the records
+    and the cached leg's :class:`CampaignStats`.
+    """
     spec = get_spec("fault_sweep")
     if REPEATS is not None:
         spec = dataclasses.replace(spec, repeats=REPEATS)
+    cache_dir = tmp_dir / "cache"
+    legs = {"w1": dict(workers=1, cache_dir=cache_dir),
+            "w2": dict(workers=2, cache_dir=None),
+            "cached": dict(workers=1, cache_dir=cache_dir)}
     outputs = {}
-    for workers in (1, 2):
-        results = run_spec(spec, workers=workers)
-        records = [result.record for result in results]
-        out = tmp_dir / f"w{workers}"
-        jsonl = write_jsonl(records, out / "runs.jsonl")
-        csv = write_csv(aggregate(records), out / "summary.csv")
-        outputs[workers] = (jsonl.read_bytes(), csv.read_bytes(), records)
-    assert outputs[1][0] == outputs[2][0], (
-        "fault_sweep runs.jsonl differs between 1 and 2 workers")
-    assert outputs[1][1] == outputs[2][1], (
-        "fault_sweep summary.csv differs between 1 and 2 workers")
-    return outputs[1][2]
+    for leg, kwargs in legs.items():
+        result = run_campaign(spec, tmp_dir / leg, **kwargs)
+        outputs[leg] = (result.jsonl_path.read_bytes(),
+                        result.csv_path.read_bytes(), result)
+    for other in ("w2", "cached"):
+        assert outputs["w1"][0] == outputs[other][0], (
+            f"fault_sweep runs.jsonl differs between w1 and {other}")
+        assert outputs["w1"][1] == outputs[other][1], (
+            f"fault_sweep summary.csv differs between w1 and {other}")
+    cached = outputs["cached"][2].stats
+    assert cached.executed == 0 and cached.cache_hits == cached.total, (
+        f"cached fault_sweep re-run recomputed cells: {cached.as_dict()}")
+    return outputs["w1"][2].records, cached
 
 
 def mean_delivery(records) -> dict[str, dict[float, float]]:
@@ -120,7 +135,8 @@ def mean_delivery(records) -> dict[str, dict[float, float]]:
             for router, by_rate in sorted(ratios.items())}
 
 
-def write_snapshot(identity, records, means, path=SNAPSHOT_PATH):
+def write_snapshot(identity, records, means, campaign_stats,
+                   path=SNAPSHOT_PATH):
     """Persist every gate for cross-PR tracking."""
     first = records[0]["metrics"]
     payload = {
@@ -136,14 +152,15 @@ def write_snapshot(identity, records, means, path=SNAPSHOT_PATH):
     return write_bench_snapshot(
         "fault_tolerance", payload, path,
         n=first["nodes"],
-        repeats=max(r["repeat"] for r in records) + 1)
+        repeats=max(r["repeat"] for r in records) + 1,
+        campaign=campaign_stats.as_dict())
 
 
 def test_fault_tolerance_gates(tmp_path):
     identity = run_zero_rate_identity()
-    records = run_sweep(tmp_path)
+    records, campaign_stats = run_sweep(tmp_path)
     means = mean_delivery(records)
-    snapshot = write_snapshot(identity, records, means)
+    snapshot = write_snapshot(identity, records, means, campaign_stats)
 
     rates = sorted({float(r["params"]["crash_rate"]) for r in records})
     print_table(

@@ -19,6 +19,12 @@ only common key was ``"benchmark"``.  Every writer now goes through
     full-size one.
 ``schema``
     Envelope version (bump on incompatible changes).
+``campaign`` *(optional)*
+    Cell accounting when the figures came from a memoized campaign
+    (:class:`repro.experiments.campaign.CampaignStats.as_dict`):
+    ``total`` / ``executed`` / ``cache_hits`` / ``journal_hits`` /
+    ``failures``.  Deterministic counts, not timings — they record how
+    much of the sweep was actually recomputed for this snapshot.
 
 Each write also appends one line to ``BENCH_trajectory.jsonl`` next to
 the snapshot: the envelope plus every non-wall numeric leaf of the
@@ -53,10 +59,16 @@ def git_sha(cwd: str | pathlib.Path | None = None) -> str:
 
 def bench_envelope(benchmark: str, n: int | None = None,
                    repeats: int | None = None,
-                   cwd: str | pathlib.Path | None = None
+                   cwd: str | pathlib.Path | None = None,
+                   campaign: typing.Mapping[str, int] | None = None
                    ) -> dict[str, object]:
-    """The shared snapshot header; see the module docstring for fields."""
-    return {
+    """The shared snapshot header; see the module docstring for fields.
+
+    ``campaign`` attaches the memoized-campaign cell accounting
+    (``CampaignStats.as_dict()``) when the benchmark ran its sweep
+    through :func:`repro.experiments.campaign.run_campaign`.
+    """
+    envelope: dict[str, object] = {
         "schema": ENVELOPE_SCHEMA,
         "benchmark": benchmark,
         "git_sha": git_sha(cwd),
@@ -65,21 +77,26 @@ def bench_envelope(benchmark: str, n: int | None = None,
         "n": n,
         "repeats": repeats,
     }
+    if campaign is not None:
+        envelope["campaign"] = dict(campaign)
+    return envelope
 
 
 def write_bench_snapshot(benchmark: str, payload: dict[str, object],
                          path: str | pathlib.Path, *,
                          n: int | None = None, repeats: int | None = None,
                          trajectory_path: str | pathlib.Path | None = None,
+                         campaign: typing.Mapping[str, int] | None = None,
                          ) -> dict[str, object]:
     """Write one ``BENCH_*.json`` and append its trajectory line.
 
     ``payload`` carries the benchmark's figures (tables, gate ratios);
     the shared envelope is added under ``"envelope"`` plus a top-level
-    ``"benchmark"`` key for backwards-compatible readers.  The
-    trajectory line lands in ``BENCH_trajectory.jsonl`` beside the
-    snapshot unless ``trajectory_path`` overrides it.  Returns the full
-    snapshot dict.
+    ``"benchmark"`` key for backwards-compatible readers.  ``campaign``
+    forwards cache-hit stats into the envelope (see
+    :func:`bench_envelope`).  The trajectory line lands in
+    ``BENCH_trajectory.jsonl`` beside the snapshot unless
+    ``trajectory_path`` overrides it.  Returns the full snapshot dict.
     """
     from repro.analysis.gates import numeric_leaves
 
@@ -87,7 +104,7 @@ def write_bench_snapshot(benchmark: str, payload: dict[str, object],
     snapshot: dict[str, object] = {
         "benchmark": benchmark,
         "envelope": bench_envelope(benchmark, n=n, repeats=repeats,
-                                   cwd=path.parent),
+                                   cwd=path.parent, campaign=campaign),
     }
     snapshot.update(payload)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -11,8 +11,15 @@ node counts.  This package turns such campaigns into data:
   ``(master_seed, run label)``, independent of execution order;
 * :mod:`~repro.experiments.workloads` — what a single run measures
   (discovery convergence, handover decay, scale rounds, …);
-* :mod:`~repro.experiments.runner` — serial or multiprocess execution
-  with byte-identical JSONL output at any worker count;
+* :mod:`~repro.experiments.dispatch` — *where* cells execute:
+  :class:`DispatchBackend` (inline serial, local process pool; the
+  seam for SSH/cluster fan-out);
+* :mod:`~repro.experiments.runner` — one-shot execution through a
+  backend, byte-identical JSONL output at any worker count;
+* :mod:`~repro.experiments.cache` — the content-addressed run cache
+  (cell identity → finished record, cross-campaign);
+* :mod:`~repro.experiments.campaign` — journaled, memoized, resumable
+  execution (``run_campaign``: the durable superset of ``run_spec``);
 * :mod:`~repro.experiments.report` — fold repeats into
   :class:`~repro.metrics.stats.Summary` rows, render tables and CSV;
 * :mod:`~repro.experiments.specs` — the bundled campaigns
@@ -20,10 +27,26 @@ node counts.  This package turns such campaigns into data:
 * :mod:`~repro.experiments.cli` — ``python -m repro.experiments
   list|run|report``.
 
-Dataflow: spec → expand (grid of seeded run points) → runner (workload
-per point, 1..N processes) → JSONL sink → aggregate → CSV/tables.
+Dataflow: spec → expand (grid of seeded run points) → campaign
+(journal/cache lookup per cell) → dispatch backend (workload per
+pending cell) → journal commit → JSONL sink → aggregate → CSV/tables.
 """
 
+from repro.experiments.cache import CampaignCache, cache_key, point_key
+from repro.experiments.campaign import (
+    CampaignError,
+    CampaignResult,
+    CampaignStats,
+    Journal,
+    run_campaign,
+)
+from repro.experiments.dispatch import (
+    DispatchBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_names,
+    make_backend,
+)
 from repro.experiments.registry import (
     Param,
     ScenarioEntry,
@@ -42,6 +65,7 @@ from repro.experiments.report import (
 from repro.experiments.runner import (
     RunResult,
     execute_point,
+    execute_point_outcome,
     read_jsonl,
     run_spec,
     write_jsonl,
@@ -51,32 +75,48 @@ from repro.experiments.specs import get_spec, register_spec, spec_names
 from repro.experiments.workloads import (
     get_workload,
     register_workload,
+    workload_fingerprint,
     workload_names,
 )
 
 __all__ = [
     "AggregateRow",
+    "CampaignCache",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignStats",
+    "DispatchBackend",
     "ExperimentSpec",
+    "Journal",
     "Param",
+    "ProcessPoolBackend",
     "RunPoint",
     "RunResult",
     "ScenarioEntry",
+    "SerialBackend",
     "aggregate",
     "aggregate_csv",
     "aggregate_table",
+    "backend_names",
     "build_scenario",
+    "cache_key",
     "execute_point",
+    "execute_point_outcome",
     "get_scenario",
     "get_spec",
     "get_workload",
+    "make_backend",
+    "point_key",
     "read_jsonl",
     "register_scenario",
     "register_spec",
     "register_workload",
+    "run_campaign",
     "run_label",
     "run_spec",
     "scenario_names",
     "spec_names",
+    "workload_fingerprint",
     "workload_names",
     "write_csv",
     "write_jsonl",

@@ -1,0 +1,135 @@
+"""Content-addressed run cache: never recompute a finished grid cell.
+
+A *cell* is one :class:`~repro.experiments.spec.RunPoint` — and its
+result is a pure function of what the cell *is*, never where it sits in
+the grid or when it executes.  :func:`cache_key` canonicalises exactly
+that identity — spec name + version, scenario, sorted params, repeat,
+seed, workload name + code fingerprint, settings — into a SHA-256 hex
+digest, and :class:`CampaignCache` stores one JSON entry per digest on
+disk.  Re-running a *grown* sweep (new axis values, extra repeats) then
+computes only the new cells: the old cells' keys are unchanged because
+nothing positional enters the key (the companion guarantee to the
+position-independent ``derive_seed`` labels in ``spec.py``).
+
+Key stability contract (property-tested in
+``tests/test_campaign_cache.py``):
+
+* identical cells produce identical keys regardless of param-dict
+  insertion order, process, or run;
+* distinct ``(seed, params, scenario)`` (or any other component) never
+  collide — the serialisation is injective and SHA-256 does the rest;
+* editing a workload's *code* changes its fingerprint
+  (:func:`~repro.experiments.workloads.workload_fingerprint`) and
+  therefore every key it produced, so stale results can never be
+  replayed against new measurement logic.
+
+Entries are written atomically (temp file + ``os.replace``) so a crash
+mid-``put`` leaves either the old entry or none — never a torn one; a
+corrupt entry reads as a miss.  The cell's grid index is *not* stored
+canonically: callers re-stamp ``record["run"]`` (and the telemetry
+rows' ``run`` tags) at retrieval, because the same cell may sit at a
+different index in a grown grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import typing
+
+from repro.experiments.spec import RunPoint, canonical
+
+KEY_SCHEMA = 1
+
+
+def cache_key(*, spec: str, version: int, scenario: str,
+              params: typing.Mapping[str, object], repeat: int, seed: int,
+              workload: str, fingerprint: str,
+              settings: typing.Mapping[str, object],
+              extras: typing.Mapping[str, object] | None = None) -> str:
+    """SHA-256 hex digest of a cell's canonical identity.
+
+    ``extras`` names execution dimensions outside the spec that change
+    what a run *produces* (today: ``{"telemetry": True}``, because a
+    telemetry-bearing entry carries rows a bare one lacks).  ``None``
+    and ``{}`` hash identically — absent means default.
+    """
+    identity = {
+        "schema": KEY_SCHEMA,
+        "spec": str(spec),
+        "version": int(version),
+        "scenario": str(scenario),
+        "params": {str(k): canonical(v) for k, v in params.items()},
+        "repeat": int(repeat),
+        "seed": int(seed),
+        "workload": str(workload),
+        "fingerprint": str(fingerprint),
+        "settings": {str(k): canonical(v) for k, v in settings.items()},
+        "extras": {str(k): canonical(v) for k, v in (extras or {}).items()},
+    }
+    payload = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def point_key(point: RunPoint, fingerprint: str, *, version: int = 1,
+              extras: typing.Mapping[str, object] | None = None) -> str:
+    """:func:`cache_key` for an expanded :class:`RunPoint`."""
+    return cache_key(
+        spec=point.spec, version=version, scenario=point.scenario,
+        params=point.params, repeat=point.repeat, seed=point.seed,
+        workload=point.workload, fingerprint=fingerprint,
+        settings=point.settings, extras=extras)
+
+
+class CampaignCache:
+    """Filesystem store: key → ``{"record": …, "telemetry": […]}``.
+
+    Layout is ``root/<key[:2]>/<key[2:]>.json`` (two-level fan-out so a
+    million-cell campaign never piles one directory).  ``get`` returns
+    the stored entry or ``None``; ``put`` is atomic and last-writer-wins
+    (identical keys imply identical payloads, so races are benign).
+    The ``hits``/``misses``/``stores`` counters feed campaign progress
+    and the BENCH envelope's cache stats.
+    """
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key[2:]}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored entry for ``key``, or ``None`` (corrupt = miss)."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or "record" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: typing.Mapping[str, object]) -> None:
+        """Store ``entry`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CampaignCache {str(self.root)!r} hits={self.hits} "
+                f"misses={self.misses} stores={self.stores}>")

@@ -2,14 +2,20 @@
 
 * ``list`` — bundled specs, registered scenarios (with schemas) and
   workloads;
-* ``run SPEC`` — expand the grid, execute it (``--workers N``), write
-  ``runs.jsonl`` + aggregated ``summary.csv`` under ``--out`` (default
-  ``results/<spec>/``) and print the aggregate table;
+* ``run SPEC`` — expand the grid, execute it as a *campaign* (``--
+  workers N``, ``--backend``): journaled to ``runs.journal.jsonl`` (an
+  interrupted run resumes where it stopped — just re-run the same
+  command), memoized through a content-addressed run cache (default
+  ``<out>/cache``; share one with ``--cache-dir`` so grown sweeps only
+  compute new cells), writing ``runs.jsonl`` + aggregated
+  ``summary.csv`` + ``campaign.json`` stats under ``--out`` (default
+  ``results/<spec>/``) and printing the aggregate table;
 * ``report SPEC`` — re-aggregate an existing ``runs.jsonl`` without
   re-running anything.
 
-Output files are byte-identical for any ``--workers`` value — see
-:mod:`repro.experiments.runner` for the determinism contract.
+``runs.jsonl`` and ``summary.csv`` are byte-identical for any
+``--workers`` value, across interruptions and across cache states —
+see :mod:`repro.experiments.campaign` for the contract.
 """
 
 from __future__ import annotations
@@ -18,8 +24,10 @@ import argparse
 import pathlib
 import sys
 
+from repro.experiments import campaign as campaign_mod
 from repro.experiments import report as report_mod
 from repro.experiments import runner as runner_mod
+from repro.experiments.dispatch import backend_names, make_backend
 from repro.experiments.registry import get_scenario, scenario_names
 from repro.experiments.specs import get_spec, spec_names
 from repro.experiments.workloads import workload_names
@@ -53,34 +61,68 @@ def cmd_list(_args) -> int:
     return 0
 
 
-def _progress_printer(total: int, verbose: bool, show_eta: bool):
-    """Build the runner's ``progress`` callback.
+def _campaign_progress_printer(verbose: bool, show_eta: bool):
+    """Build the campaign's ``progress`` callback.
 
     Progress is *presentation only*: it prints to stderr from the
     collecting (parent) process in grid order, driven by wall-clock —
     none of it can reach ``runs.jsonl``/``telemetry.jsonl``, so the
-    byte-identical-at-any-worker-count contract is untouched.
+    byte-identity contract is untouched.  ETA extrapolates over
+    *executed* cells only (journal/cache hits are near-free and would
+    skew the rate).
     """
     import time
     started = time.perf_counter()
-    done = [0]
-    width = len(str(total))
+    hits = [0]
+    executed = [0]
 
-    def progress(record):
-        done[0] += 1
-        parts = [f"[{done[0]:>{width}}/{total}]"]
-        if show_eta:
+    def progress(event):
+        total = event["total"]
+        width = len(str(total))
+        source = event["source"]
+        if source in ("journal", "cache"):
+            hits[0] += 1
+            if not verbose:
+                return    # hits are silent unless asked for
+        else:
+            executed[0] += 1
+        parts = [f"[{event['done']:>{width}}/{total}]"]
+        if hits[0]:
+            parts.append(f"hits {hits[0]}")
+        if show_eta and executed[0]:
             elapsed = time.perf_counter() - started
-            rate = elapsed / done[0]
-            remaining = rate * (total - done[0])
-            parts.append(f"eta {remaining:5.1f}s"
-                         if done[0] < total else f"done {elapsed:5.1f}s")
+            remaining_cells = total - event["done"]
+            rate = elapsed / executed[0]
+            parts.append(f"eta {rate * remaining_cells:5.1f}s"
+                         if remaining_cells else f"done {elapsed:5.1f}s")
+        record = event["record"]
         if verbose:
-            parts.append(f"{record['scenario']} {record['params']} "
-                         f"rep{record['repeat']}")
+            parts.append(
+                f"{record['scenario']} {record['params']} "
+                f"rep{record['repeat']} [{source}]"
+                if record is not None else f"[{source}]")
         print("  " + " ".join(parts), file=sys.stderr)
 
     return progress
+
+
+def _print_campaign(spec, result, args, out_dir) -> None:
+    stats = result.stats
+    print(f"campaign: total={stats.total} executed={stats.executed} "
+          f"cache_hits={stats.cache_hits} "
+          f"journal_hits={stats.journal_hits} "
+          f"failures={len(stats.failures)}")
+    records = result.records
+    rows = report_mod.aggregate(records)
+    wall = sum(r.timings.get("wall_s", 0.0) for r in result.results)
+    print(report_mod.aggregate_table(
+        f"{spec.name}: {len(records)} runs "
+        f"(total simulated work {wall:.1f}s of wall-clock)", rows))
+    print(f"\nwrote {result.jsonl_path} and {result.csv_path}")
+    if args.telemetry:
+        telemetry_path, timeline_path = runner_mod.write_telemetry(
+            result.results, out_dir)
+        print(f"wrote {telemetry_path} and {timeline_path}")
 
 
 def cmd_run(args) -> int:
@@ -90,30 +132,37 @@ def cmd_run(args) -> int:
         spec = dataclasses.replace(spec, master_seed=args.seed)
     out_dir = _out_dir(args)
     total = spec.size()
+    backend = make_backend(args.backend, workers=args.workers)
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (pathlib.Path(args.cache_dir)
+                     if args.cache_dir is not None
+                     else out_dir / "cache")
     print(f"spec {spec.name!r}: {total} runs, workload "
-          f"{spec.workload!r}, {args.workers} worker(s) -> {out_dir}")
+          f"{spec.workload!r}, backend {backend.describe()} -> {out_dir}"
+          + (f" (cache {cache_dir})" if cache_dir is not None else ""))
 
     progress = None
     if args.verbose or args.progress:
-        progress = _progress_printer(total, verbose=args.verbose,
-                                     show_eta=args.progress)
+        progress = _campaign_progress_printer(verbose=args.verbose,
+                                              show_eta=args.progress)
 
-    results = runner_mod.run_spec(spec, workers=args.workers,
-                                  progress=progress,
-                                  telemetry=args.telemetry)
-    records = [result.record for result in results]
-    jsonl_path = runner_mod.write_jsonl(records, out_dir / "runs.jsonl")
-    rows = report_mod.aggregate(records)
-    csv_path = report_mod.write_csv(rows, out_dir / "summary.csv")
-    wall = sum(result.timings["wall_s"] for result in results)
-    print(report_mod.aggregate_table(
-        f"{spec.name}: {len(records)} runs "
-        f"(total simulated work {wall:.1f}s of wall-clock)", rows))
-    print(f"\nwrote {jsonl_path} and {csv_path}")
-    if args.telemetry:
-        telemetry_path, timeline_path = runner_mod.write_telemetry(
-            results, out_dir)
-        print(f"wrote {telemetry_path} and {timeline_path}")
+    try:
+        result = campaign_mod.run_campaign(
+            spec, out_dir, backend=backend, cache_dir=cache_dir,
+            telemetry=args.telemetry, progress=progress)
+    except campaign_mod.CampaignError as error:
+        result = error.result
+        _print_campaign(spec, result, args, out_dir)
+        print(f"\ncampaign failed: {error}", file=sys.stderr)
+        for failure in result.stats.failures:
+            print(f"  {failure['label']}: {failure['error']}",
+                  file=sys.stderr)
+        print(f"(completed cells are journaled in {result.journal_path}"
+              f" — re-run the same command to retry only the failures)",
+              file=sys.stderr)
+        return 1
+    _print_campaign(spec, result, args, out_dir)
     return 0
 
 
@@ -149,9 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--workers", type=int, default=1,
                             help="worker processes (default 1; output is "
                                  "identical at any value)")
+    run_parser.add_argument("--backend", default=None,
+                            choices=backend_names(),
+                            help="dispatch backend (default: serial at "
+                                 "1 worker, process above)")
     run_parser.add_argument("--out", default=None,
                             help="output directory "
                                  "(default results/<spec>/)")
+    run_parser.add_argument("--cache-dir", default=None,
+                            help="content-addressed run cache (default "
+                                 "<out>/cache; share one directory so "
+                                 "grown sweeps only compute new cells)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="disable the run cache (the journal "
+                                 "still makes the run resumable)")
     run_parser.add_argument("--seed", type=int, default=None,
                             help="override the spec's master seed")
     run_parser.add_argument("--verbose", action="store_true",

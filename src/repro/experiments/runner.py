@@ -1,22 +1,26 @@
-"""The sweep runner: execute an expanded grid, serially or in parallel.
+"""The sweep runner: execute an expanded grid through a dispatch backend.
 
 Each :class:`~repro.experiments.spec.RunPoint` is executed by
 :func:`execute_point` — a module-level function taking and returning
-plain dicts, so it crosses process boundaries untouched.  With
-``workers > 1`` the grid fans out over a ``ProcessPoolExecutor``
+plain dicts, so it crosses process boundaries untouched.  *Where* cells
+run is the :mod:`~repro.experiments.dispatch` backend's business:
+``workers=1`` maps to the inline :class:`~repro.experiments.dispatch.
+SerialBackend`, anything above to a ``ProcessPoolExecutor`` fan-out
 (simulations are CPU-bound pure Python; processes sidestep the GIL).
+:func:`run_spec` is a thin loop over ``backend.dispatch``; the
+journaled, memoized superset lives in
+:mod:`~repro.experiments.campaign`.
 
 Determinism: a run's result depends only on its :class:`RunPoint` (the
 seed is derived from the run's label, not its schedule), results are
-collected in grid order (``Executor.map`` preserves input order), and
-records are serialised with sorted keys — so JSONL and aggregate output
-are byte-identical for 1 and N workers.  Wall-clock measurements never
+collected in grid order (backends preserve input order), and records
+are serialised with sorted keys — so JSONL and aggregate output are
+byte-identical for 1 and N workers.  Wall-clock measurements never
 enter records; they ride the :attr:`RunResult.timings` side channel.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import functools
 import json
@@ -24,6 +28,7 @@ import pathlib
 import time
 import typing
 
+from repro.experiments.dispatch import DispatchBackend, make_backend
 from repro.experiments.spec import ExperimentSpec, RunPoint
 from repro.experiments.workloads import get_workload
 from repro.obs import runtime as obs_runtime
@@ -91,36 +96,62 @@ def execute_point(point_dict: dict,
     return record, timings, telemetry_rows
 
 
+def execute_point_outcome(point_dict: dict,
+                          telemetry: bool = False) -> dict:
+    """Run :func:`execute_point`, folding failure into the return value.
+
+    The campaign layer's unit of work: a raised workload exception must
+    cost *one cell*, not the sweep, and its wall-clock must still reach
+    the timing side channel (a poisoned cell that burned ten minutes
+    should say so).  Returns ``{"ok": True, "record", "timings",
+    "telemetry"}`` on success, ``{"ok": False, "error": repr(exc),
+    "error_type", "timings"}`` on workload failure.  ``BaseException``
+    (KeyboardInterrupt, SystemExit) propagates — interruption is crash
+    semantics, handled by the journal, not a per-cell failure.
+    """
+    started = time.perf_counter()
+    try:
+        record, timings, rows = execute_point(point_dict,
+                                              telemetry=telemetry)
+    except Exception as exc:
+        return {"ok": False, "error": repr(exc),
+                "error_type": type(exc).__name__,
+                "timings": {"wall_s": time.perf_counter() - started}}
+    return {"ok": True, "record": record, "timings": timings,
+            "telemetry": rows}
+
+
 def run_spec(spec: ExperimentSpec, workers: int = 1,
              progress: typing.Callable[[dict], None] | None = None,
-             telemetry: bool = False) -> list[RunResult]:
+             telemetry: bool = False,
+             backend: DispatchBackend | None = None) -> list[RunResult]:
     """Execute every run of ``spec``; results come back in grid order.
 
     ``progress``, if given, is called with each finished record (in grid
-    order).  ``workers=1`` runs inline — no pool, easiest to debug.
-    ``telemetry=True`` attaches a passive recorder to every scenario
-    built by every run (see :mod:`repro.obs`); rows collect per run and
-    stay byte-identical at any worker count because they contain only
+    order).  ``workers=1`` runs inline — no pool, easiest to debug —
+    unless ``backend`` overrides the choice (see
+    :func:`repro.experiments.dispatch.make_backend`).  ``telemetry=True``
+    attaches a passive recorder to every scenario built by every run
+    (see :mod:`repro.obs`); rows collect per run and stay
+    byte-identical at any worker count because they contain only
     sim-time-deterministic data and travel back in grid order.
+
+    This is the one-shot path: no cache, no journal, workload
+    exceptions propagate.  :func:`repro.experiments.campaign.
+    run_campaign` wraps the same backends with memoization and
+    crash-resume.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend is None:
+        backend = make_backend(workers=workers)
     point_dicts = [point.as_dict() for point in spec.expand()]
     execute = functools.partial(execute_point, telemetry=telemetry)
     results: list[RunResult] = []
-    if workers == 1:
-        for point_dict in point_dicts:
-            record, timings, rows = execute(point_dict)
-            if progress is not None:
-                progress(record)
-            results.append(RunResult(record, timings, rows))
-        return results
-    with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers) as pool:
-        for record, timings, rows in pool.map(execute, point_dicts):
-            if progress is not None:
-                progress(record)
-            results.append(RunResult(record, timings, rows))
+    for record, timings, rows in backend.dispatch(execute, point_dicts):
+        if progress is not None:
+            progress(record)
+        results.append(RunResult(record, timings, rows))
     return results
 
 

@@ -15,7 +15,10 @@ result files byte-identical across worker counts.
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 import statistics
+import textwrap
 import time
 import typing
 
@@ -74,6 +77,27 @@ def get_workload(name: str):
     except KeyError:
         raise KeyError(f"unknown workload {name!r}; "
                        f"registered: {workload_names()}") from None
+
+
+def workload_fingerprint(name: str) -> str:
+    """SHA-256 of the workload's *source code*, hex.
+
+    Part of every campaign cache key: editing a workload's measurement
+    logic changes its fingerprint, which invalidates every cached cell
+    it produced — stale results can never satisfy new code.  Hashing
+    source (dedented, so nesting depth is irrelevant) is stable across
+    processes and interpreter runs, unlike ``hash()`` or code-object
+    ids.  Falls back to the compiled bytecode for source-less callables
+    (frozen modules); still deterministic for a fixed build.
+    """
+    fn = get_workload(name)
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        code = getattr(fn, "__code__", None)
+        source = repr((getattr(code, "co_code", b""),
+                       getattr(code, "co_consts", ())))
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
 def _sink_service(node, delivered: list) -> None:
