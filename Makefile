@@ -9,6 +9,7 @@
 #   make bench-dtn    just the DTN delivery/wakeup benchmark
 #   make bench-capacity  just the bandwidth-limited contact benchmark
 #   make bench-fault  just the fault-injection differential benchmark
+#   make bench-phy    just the lossy-PHY differential benchmark
 #   make bench-vector just the numpy batch-geometry benchmark
 #   make sweep        run the demo_sweep experiment campaign (4 workers)
 #   make dtn-sweep    run the DTN routing-baseline campaign (4 workers)
@@ -26,9 +27,9 @@ export PYTHONPATH := src
 BENCHES := $(wildcard benchmarks/bench_*.py)
 
 .PHONY: test test-all bench bench-scale bench-events bench-dtn \
-        bench-capacity bench-fault bench-vector sweep dtn-sweep \
-        bandwidth-sweep resume-smoke lint docs-check report gate \
-        quickstart
+        bench-capacity bench-fault bench-phy bench-vector sweep \
+        dtn-sweep bandwidth-sweep resume-smoke lint docs-check report \
+        gate quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -70,6 +71,13 @@ bench-capacity:
 # the sweep's repeat count (the CI bench-smoke job uses 1).
 bench-fault:
 	$(PYTHON) -m pytest benchmarks/bench_fault_tolerance.py -q -s
+
+# Lossy-PHY differential gates: zero-knob identity vs dtn_bandwidth,
+# contention erodes epidemic's flooding advantage, 1-vs-2-worker +
+# cached determinism of phy_sweep (writes BENCH_phy.json).
+# BENCH_PHY_REPEATS shrinks the sweep's repeat count (CI uses 1).
+bench-phy:
+	$(PYTHON) -m pytest benchmarks/bench_phy.py -q -s
 
 # Numpy batch geometry vs the scalar grid + solver, gated >= 10x at the
 # full N=2000 sweep (writes BENCH_vectorized.json).  BENCH_VECTOR_N and

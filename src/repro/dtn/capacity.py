@@ -72,10 +72,17 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Transfer:
-    """One bundle leg in flight over an open contact."""
+    """One bundle leg in flight over an open contact.
+
+    ``phy_tx`` is the leg's on-air registration when a lossy PHY plane
+    is installed (:mod:`repro.radio.phy`); its fate is resolved at the
+    completion instant.  A leg cancelled mid-air (churn, truncation,
+    detach) abandons its registration unresolved — the air was occupied
+    either way.
+    """
 
     __slots__ = ("sender", "receiver", "bundle", "send_bytes",
-                 "started_at", "done_at", "handle")
+                 "started_at", "done_at", "handle", "phy_tx")
 
     def __init__(self, sender: str, receiver: str, bundle: Bundle,
                  send_bytes: int, started_at: float, done_at: float,
@@ -87,6 +94,7 @@ class Transfer:
         self.started_at = started_at
         self.done_at = done_at
         self.handle = handle
+        self.phy_tx = None
 
 
 class ContactSession:
@@ -214,6 +222,17 @@ class BandwidthDtnOverlay(DtnOverlay):
         if self.meter is not None:
             self.meter.count(a, "dtn-control", control_ab)
             self.meter.count(b, "dtn-control", control_ba)
+        if self.phy is not None:
+            # Control rides the lossy air too: a lost vector leaves the
+            # receiver blind about the speaker for this whole contact
+            # (it offers against the empty vector).  The budget and the
+            # meter charged the bytes regardless — airtime was spent.
+            for sender, receiver, size in ((a, b, control_ab),
+                                           (b, a, control_ba)):
+                if not self.phy.transmit(sender, receiver, size,
+                                         kind="control", tech=self.tech,
+                                         duration_s=self.airtime_s(size)):
+                    self._blind.add((receiver, sender))
         closes_at, budget = self._window(pair[0], pair[1], now)
         session = ContactSession(pair[0], pair[1], now, closes_at, budget)
         control = control_ab + control_ba
@@ -334,7 +353,7 @@ class BandwidthDtnOverlay(DtnOverlay):
             receiver_store = self.stores[receiver]
             for bundle in self.router.offers(
                     self.stores[sender], receiver,
-                    self._peer_vector(receiver)):
+                    self._peer_vector(receiver, sender)):
                 total += max(0, bundle.size_bytes
                              - receiver_store.partial_received(
                                  bundle.bundle_id))
@@ -359,7 +378,7 @@ class BandwidthDtnOverlay(DtnOverlay):
             inbound = self._inbound.get(receiver, ())
             offers = self.router.offers(
                 self.stores[sender], receiver,
-                self._peer_vector(receiver))
+                self._peer_vector(receiver, sender))
             for rank, bundle in enumerate(offers):
                 if bundle.bundle_id in inbound:
                     continue
@@ -405,9 +424,13 @@ class BandwidthDtnOverlay(DtnOverlay):
             handle = self.sim.call_at(
                 done_at, lambda p=pair: self._complete(p),
                 name=f"dtn-xfer:{sender}->{receiver}")
-            session.transfer = Transfer(sender, receiver, bundle,
-                                        send_bytes, start, done_at,
-                                        handle)
+            transfer = Transfer(sender, receiver, bundle,
+                                send_bytes, start, done_at, handle)
+            if self.phy is not None:
+                transfer.phy_tx = self.phy.begin(
+                    sender, receiver, send_bytes, tech=self.tech,
+                    started_at=start, ends_at=done_at)
+            session.transfer = transfer
             session.next_free = done_at
             self._inbound.setdefault(receiver, set()).add(
                 bundle.bundle_id)
@@ -474,6 +497,17 @@ class BandwidthDtnOverlay(DtnOverlay):
         self.counters.bytes_transferred += transfer.send_bytes
         if self.meter is not None:
             self.meter.count(sender, "dtn-data", transfer.send_bytes)
+        if transfer.phy_tx is not None \
+                and not self.phy.resolve(transfer.phy_tx):
+            # The leg faded or collided at the receiver: airtime, budget
+            # and meter were all spent, but nothing usable arrived — no
+            # fragment credit, no custody movement.  Pumping again is
+            # the natural retry: the bundle is still the top offer, and
+            # each retry burns more of the finite window.
+            self._pump(session)
+            self._pump_node(receiver)
+            self._pump_node(sender)
+            return
         total = self.stores[receiver].record_partial(bundle.bundle_id,
                                                      transfer.send_bytes)
         if total < bundle.size_bytes:

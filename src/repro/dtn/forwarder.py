@@ -135,6 +135,15 @@ class DtnPlane:
         self.faults = getattr(world, "faults", None)
         if self.faults is not None:
             self.faults.add_listener(self)
+        #: Installed lossy PHY plane, if any (:mod:`repro.radio.phy`).
+        #: ``None`` keeps every hook below on the literal pre-PHY path.
+        self.phy = getattr(world, "phy", None)
+        #: Directed pairs ``(listener, speaker)`` whose contact-open
+        #: control exchange was PHY-lost: the listener never heard the
+        #: speaker's summary vector and offers blind (sees the empty
+        #: vector) for the rest of the contact.  Cleared at
+        #: :meth:`contact_down`.
+        self._blind: set[tuple[str, str]] = set()
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.register_dtn(self)
@@ -208,6 +217,8 @@ class DtnPlane:
         self._adjacent[b].add(a)
         self.router.on_contact(a, b, self.sim.now)
         self._charge_contact_control(a, b)
+        if self.phy is not None:
+            self._phy_control(a, b)
         self._exchange(a, b)
         self._exchange(b, a)
         self._cascade_from(a)
@@ -217,6 +228,25 @@ class DtnPlane:
         """A contact closed: forget the adjacency.  O(1)."""
         self._adjacent.get(a, set()).discard(b)
         self._adjacent.get(b, set()).discard(a)
+        if self._blind:
+            self._blind.discard((a, b))
+            self._blind.discard((b, a))
+
+    def _phy_control(self, a: str, b: str) -> None:
+        """Put both directions' contact-open control on the lossy air.
+
+        A lost vector leaves the *receiver* blind about the speaker for
+        the rest of this contact — it offers against the empty vector,
+        re-offering bundles the peer already holds (duplicates cost
+        transmissions and bytes, exactly the control-loss failure mode
+        binary links could never show).  The bytes were metered either
+        way: the speaker spent the airtime.
+        """
+        for sender, receiver in ((a, b), (b, a)):
+            size = self.contact_control_bytes(sender, receiver)
+            if not self.phy.transmit(sender, receiver, size,
+                                     kind="control", tech=self.tech):
+                self._blind.add((receiver, sender))
 
     def contacts(self, node_id: str) -> list[str]:
         """Current contacts of ``node_id``, sorted."""
@@ -242,13 +272,17 @@ class DtnPlane:
             self.meter.count(sender, "dtn-control",
                              self.contact_control_bytes(sender, receiver))
 
-    def _peer_vector(self, peer: str) -> frozenset:
-        """The peer's *advertised* summary vector (byzantine hook).
+    def _peer_vector(self, peer: str, carrier: str) -> frozenset:
+        """The peer's summary vector *as the carrier heard it*.
 
-        Ground truth — ``has_seen``, delivery, custody settlement —
-        never goes through here: a byzantine node lies about what it
-        carries, not about what it receives.
+        Byzantine hook plus PHY control blindness: a carrier whose
+        contact-open control reception was PHY-lost heard nothing and
+        offers against the empty vector.  Ground truth — ``has_seen``,
+        delivery, custody settlement — never goes through here: the
+        distortions are about advertisement, not about reception.
         """
+        if (carrier, peer) in self._blind:
+            return frozenset()
         vector = self.stores[peer].summary_vector()
         if self.faults is not None:
             return self.faults.advertised_vector(peer, vector)
@@ -266,9 +300,20 @@ class DtnPlane:
         peer_store.expire(now)
         grew = False
         for bundle in self.router.offers(
-                carrier_store, peer, self._peer_vector(peer)):
+                carrier_store, peer, self._peer_vector(peer, carrier)):
             if peer_store.has_seen(bundle.bundle_id):
                 self.counters.duplicates += 1
+                continue
+            if (self.phy is not None
+                    and not self.phy.transmit(carrier, peer,
+                                              bundle.size_bytes,
+                                              tech=self.tech)):
+                # Copy lost on the air: the bytes were spent, custody
+                # did not move, no spray token was burnt.  The bundle
+                # is re-offered at the pair's next exchange event.
+                if self.meter is not None:
+                    self.meter.count(carrier, "dtn-data",
+                                     bundle.size_bytes)
                 continue
             self.counters.transmissions += 1
             if self.meter is not None:

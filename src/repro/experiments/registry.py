@@ -34,6 +34,7 @@ from repro.scenarios import (
     hostile_corridor,
     island_hopping_ferry,
     line_topology,
+    lossy_festival,
     random_disc,
     replay_arena,
     rural_bus_dtn,
@@ -193,6 +194,27 @@ def _fault_params(crash_rate: float = 0.0, crash_downtime_s: float = 45.0,
               "window over which fault onsets are sampled, seconds"),
     )
 
+
+def _phy_params(shadowing_sigma_db: float = 0.0, phy_collisions: int = 0,
+                capture_margin_db: float = 6.0) -> tuple[Param, ...]:
+    """The shared lossy-PHY schema (:mod:`repro.radio.phy`).
+
+    Appended to every DTN/bandwidth scenario registration with all-zero
+    defaults (zero knobs install nothing — the no-PHY byte-identity
+    contract); ``lossy_festival`` registers the same knobs with its
+    lossy defaults.  Because these are schema parameters they flow into
+    every run's canonical params and therefore into the campaign
+    cache_key.
+    """
+    return (
+        Param("shadowing_sigma_db", float, shadowing_sigma_db,
+              "log-normal shadowing sigma, dB (0 = no fading loss)"),
+        Param("phy_collisions", int, phy_collisions,
+              "1 = collision/capture under overlapping transmissions"),
+        Param("capture_margin_db", float, capture_margin_db,
+              "dB advantage needed to capture over overlap rivals"),
+    )
+
 register_scenario(
     "line_topology", line_topology,
     params=(
@@ -290,6 +312,7 @@ register_scenario(
         Param("width_m", float, 8.0, "corridor width, metres"),
         _TECHS,
         *_fault_params(),
+        *_phy_params(),
     ),
     summary=("home/work terminals beyond mutual range; bundles ride "
              "commuters"))
@@ -304,6 +327,7 @@ register_scenario(
         *_fault_params(crash_rate=0.2, crash_downtime_s=120.0,
                        radio_fault_rate=0.1, byzantine_rate=0.1,
                        jammer_count=1, fault_window_s=360.0),
+        *_phy_params(),
     ),
     summary=("the commuter corridor under crash-reboot, deaf/mute, "
              "byzantine and jammer faults"))
@@ -319,6 +343,7 @@ register_scenario(
         Param("cycles", int, 4, "ferry shuttle cycles before parking"),
         _TECHS,
         *_fault_params(),
+        *_phy_params(),
     ),
     summary="partitioned islands bridged only by a scripted ferry")
 
@@ -329,6 +354,7 @@ register_scenario(
         Param("area", float, 60.0, "side of the square, metres"),
         _TECHS,
         *_fault_params(),
+        *_phy_params(),
     ),
     summary="static announcer amid a roaming crowd (broadcast traffic)")
 
@@ -344,6 +370,7 @@ register_scenario(
         Param("laps", int, 4, "round trips per car before parking"),
         _TECHS,
         *_fault_params(),
+        *_phy_params(),
     ),
     summary=("seconds-long drive-by contacts; large bundles need "
              "partial-transfer resume across laps"))
@@ -355,9 +382,22 @@ register_scenario(
         Param("area", float, 40.0, "side of the square, metres"),
         _TECHS,
         *_fault_params(),
+        *_phy_params(),
     ),
     summary=("dense broadcast crowd: window bytes, not reachability, "
              "are the constraint"))
+
+register_scenario(
+    "lossy_festival", lossy_festival,
+    params=(
+        Param("count", int, 18, "roaming attendees"),
+        Param("area", float, 40.0, "side of the square, metres"),
+        _TECHS,
+        *_fault_params(),
+        *_phy_params(shadowing_sigma_db=6.0, phy_collisions=1),
+    ),
+    summary=("the crowded festival under a default lossy PHY profile "
+             "(6 dB shadowing + collision/capture)"))
 
 register_scenario(
     "rural_bus_dtn", rural_bus_dtn,
@@ -370,6 +410,7 @@ register_scenario(
         Param("cycles", int, 4, "bus route cycles before parking"),
         _TECHS,
         *_fault_params(),
+        *_phy_params(),
     ),
     summary=("partitioned villages served by one bus; each dwell "
              "prices the village uplink in bytes"))

@@ -156,6 +156,29 @@ register_spec(ExperimentSpec(
     description=("fault-injected DTN delivery: direct vs spray vs "
                  "PRoPHET as the crash-reboot rate rises")))
 
+#: The lossy-PHY campaign: the crowded festival swept over the
+#: shadowing sigma with collision/capture on.  The sigma axis measures
+#: how epidemic's flooding advantage erodes when fading eats copies
+#: and its own parallel sessions contend at shared receivers (the
+#: zero-sigma column isolates pure collision loss).  The PHY params
+#: flow through ``cache_key`` like any other scenario axis, so the
+#: campaign cache distinguishes sigma values; the PHY bench's
+#: zero-rate identity leg instead runs ``dtn_phy`` with *all* knobs at
+#: zero (no plane installed) and byte-compares it to ``dtn_bandwidth``.
+register_spec(ExperimentSpec(
+    name="phy_sweep",
+    workload="dtn_phy",
+    scenarios=("crowded_festival",),
+    axes={"shadowing_sigma_db": (0.0, 4.0, 8.0),
+          "phy_collisions": (1,)},
+    repeats=2,
+    master_seed=250,
+    settings={"duration_s": 480.0, "messages": 10, "ttl_s": 300.0,
+              "size_bytes": 60_000, "rate_Bps": 24_000.0,
+              "routers": ("epidemic", "spray"), "spray_copies": 6},
+    description=("lossy-PHY DTN delivery: epidemic vs spray as "
+                 "shadowing and collisions erode the radio channel")))
+
 #: The production-scale gate: grid vs pairwise discovery at growing N.
 register_spec(ExperimentSpec(
     name="scale_sweep",

@@ -681,6 +681,100 @@ def dtn_bandwidth(point: RunPoint) -> Metrics:
 
 
 # ----------------------------------------------------------------------
+# dtn_phy: routers compared under the lossy physical layer
+# ----------------------------------------------------------------------
+@register_workload("dtn_phy")
+def dtn_phy(point: RunPoint) -> Metrics:
+    """Paired router comparison with :mod:`repro.radio.phy` active.
+
+    The same paired design and the same bandwidth-limited plane as the
+    ``dtn_bandwidth`` workload — every router re-runs identical
+    mobility and identical injections through a
+    :class:`~repro.dtn.capacity.BandwidthDtnOverlay` — but the point's
+    scenario params are expected to switch on the lossy PHY
+    (``shadowing_sigma_db`` / ``phy_collisions``), so the comparison
+    measures how each routing policy survives fading, collisions and
+    lost control traffic.  Epidemic's flooding now *contends with
+    itself*: parallel sessions overlap at shared receivers and lost
+    legs burn finite window budget on retries, which is the
+    ``bench_phy`` gate.  With all PHY params at zero the scenario
+    installs no plane at all and the metrics this workload shares with
+    ``dtn_bandwidth`` are byte-identical to it — the differential
+    zero-loss identity gate.
+
+    ``settings`` mirror the ``dtn_bandwidth`` workload's, with
+    ``routers`` defaulting to ``("epidemic", "spray")`` (the pair whose
+    gap the contention gate watches).  Beyond the ``dtn_bandwidth``
+    metrics, each router leg reports the PHY plane's counters
+    (``*_phy_offered`` / ``*_phy_delivered`` / ``*_phy_lost_fading`` /
+    ``*_phy_lost_collision`` / ``*_phy_captured``); all zero when no
+    plane is installed.
+    """
+    duration_s = float(point.settings.get("duration_s", 600.0))
+    messages = int(point.settings.get("messages", 24))
+    ttl_s = float(point.settings.get("ttl_s", 480.0))
+    size_bytes = int(point.settings.get("size_bytes", 200_000))
+    routers = list(point.settings.get("routers", ("epidemic", "spray")))
+    spray_copies = int(point.settings.get("spray_copies", 6))
+    capacity = int(point.settings.get("capacity_bytes", 0)) or None
+    policy = str(point.settings.get("policy", "oldest"))
+    pattern = str(point.settings.get("pattern", "auto"))
+    tech = str(point.settings.get("tech", "bluetooth"))
+    rate_Bps = float(point.settings.get("rate_Bps", 0.0)) or None
+    inject_start = float(point.settings.get("inject_start_s", 120.0))
+    inject_end = float(point.settings.get("inject_end_s",
+                                          duration_s / 2.0))
+    metrics: Metrics = {}
+    for router_name in routers:
+        scenario, plane, nodes, resolved = _paired_router_run(
+            point, router_name,
+            lambda scenario, router: BandwidthDtnOverlay(
+                scenario.world, router, tech=tech,
+                capacity_bytes=capacity, policy=policy,
+                meter=scenario.meter, data_rate_Bps=rate_Bps),
+            spray_copies=spray_copies, duration_s=duration_s,
+            messages=messages, ttl_s=ttl_s, size_bytes=size_bytes,
+            pattern=pattern, inject_start=inject_start,
+            inject_end=inject_end)
+        latencies = plane.latencies()
+        counters = plane.counters
+        phy = scenario.world.phy
+        phy_counts = (phy.counters.as_dict() if phy is not None
+                      else {"offered": 0, "delivered": 0,
+                            "lost_fading": 0, "lost_collision": 0,
+                            "captured": 0})
+        metrics.update({
+            "nodes": len(nodes),
+            "pattern_" + resolved: 1,
+            "created": counters.created,
+            "rate_Bps": plane.data_rate_Bps,
+            f"{router_name}_delivery_ratio": plane.delivery_ratio(),
+            f"{router_name}_delivered": counters.delivered,
+            f"{router_name}_latency_mean":
+                statistics.fmean(latencies) if latencies else None,
+            f"{router_name}_transmissions": counters.transmissions,
+            f"{router_name}_overhead": plane.overhead_ratio(),
+            f"{router_name}_wakeups": plane.wakeups,
+            f"{router_name}_bytes_offered": counters.bytes_offered,
+            f"{router_name}_bytes_transferred":
+                counters.bytes_transferred,
+            f"{router_name}_transfers_truncated":
+                counters.transfers_truncated,
+            f"{router_name}_transfers_cancelled":
+                counters.transfers_cancelled,
+            f"{router_name}_control_bytes":
+                scenario.meter.bytes(category="dtn-control"),
+            f"{router_name}_phy_offered": phy_counts["offered"],
+            f"{router_name}_phy_delivered": phy_counts["delivered"],
+            f"{router_name}_phy_lost_fading": phy_counts["lost_fading"],
+            f"{router_name}_phy_lost_collision":
+                phy_counts["lost_collision"],
+            f"{router_name}_phy_captured": phy_counts["captured"],
+        })
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # scale_neighbors: grid vs pairwise discovery rounds at constant density
 # ----------------------------------------------------------------------
 @register_workload("scale_neighbors")

@@ -235,12 +235,21 @@ class FaultPlane:
         receiver, then jammer coverage.  Only jammer suppressions are
         counted (``jammed_deliveries``) — crash and deaf/mute losses
         surface through the contact and custody counters instead.
+
+        With a lossy PHY plane installed (``world.phy``) the binary
+        jammer gate is skipped entirely: jammers instead raise the
+        receiver's noise floor inside :mod:`repro.radio.phy`, so a
+        strong nearby signal can still punch through while a marginal
+        one fades out — and ``jammed_deliveries`` stays zero, the
+        suppressions surfacing as PHY ``lost_fading`` instead.
         """
         if sender in self._crashed or receiver in self._crashed:
             return False
         if sender in self._mute or receiver in self._deaf:
             return False
-        if self._jammers and (self.jammed(sender) or self.jammed(receiver)):
+        if (self._jammers
+                and getattr(self.world, "phy", None) is None
+                and (self.jammed(sender) or self.jammed(receiver))):
             self.counters.jammed_deliveries += 1
             return False
         return True

@@ -204,6 +204,63 @@ class FaultCounters:
 
 
 @dataclasses.dataclass
+class PhyCounters:
+    """Lossy physical-layer activity (:mod:`repro.radio.phy`).
+
+    One instance per :class:`~repro.radio.phy.PhyPlane`; the
+    ``dtn_phy`` workload and ``bench_phy`` read these.  Counts are
+    individual transmissions (bundle copies, control vectors, link
+    frames, bandwidth-plane legs).
+
+    Attributes
+    ----------
+    offered:
+        Transmissions put on the air (every :meth:`~repro.radio.phy.
+        PhyPlane.begin`).  Resolved transmissions satisfy ``offered ==
+        delivered + lost_fading + lost_collision``; bandwidth-plane
+        legs cancelled mid-air (churn/truncation) are offered but never
+        resolved, so the sum may fall short of ``offered`` by exactly
+        the abandoned legs.
+    delivered:
+        Transmissions that survived fading and contention (includes
+        captures).
+    lost_fading:
+        Transmissions whose shadowed received power fell below the
+        technology's (possibly jammer-raised) sensitivity threshold.
+    lost_collision:
+        Transmissions lost to a concurrent overlapping transmission at
+        the same receiver without the capture margin.
+    captured:
+        Delivered *despite* overlap — the strong-signal capture effect
+        (a subset of ``delivered``).
+    """
+
+    offered: int = 0
+    delivered: int = 0
+    lost_fading: int = 0
+    lost_collision: int = 0
+    captured: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (between benchmark rounds)."""
+        self.offered = 0
+        self.delivered = 0
+        self.lost_fading = 0
+        self.lost_collision = 0
+        self.captured = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot for JSON benchmark artifacts."""
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "lost_fading": self.lost_fading,
+            "lost_collision": self.lost_collision,
+            "captured": self.captured,
+        }
+
+
+@dataclasses.dataclass
 class _Bucket:
     messages: int = 0
     bytes: int = 0

@@ -35,6 +35,12 @@ from repro.radio.channel import (
     OutOfRange,
 )
 from repro.radio.contacts import ContactSolver, Crossing
+from repro.radio.phy import (
+    PhyPlane,
+    PhyProfile,
+    PhyTransmission,
+    install_scenario_phy,
+)
 from repro.radio.propagation import LogDistancePathLoss, PathLossModel
 from repro.radio.spatial import SpatialGrid, WorldStats
 from repro.radio.quality import (
@@ -70,6 +76,9 @@ __all__ = [
     "PAPER_LOW_QUALITY_THRESHOLD",
     "PathLossModel",
     "PathLossQuality",
+    "PhyPlane",
+    "PhyProfile",
+    "PhyTransmission",
     "PiecewiseLinearQuality",
     "QUALITY_MAX",
     "QualityModel",
@@ -79,4 +88,5 @@ __all__ = [
     "WLAN",
     "World",
     "WorldStats",
+    "install_scenario_phy",
 ]

@@ -121,6 +121,14 @@ class Link:
         is ``max(now, direction busy-until) + transmit_time``.  If the link
         is already down the frame is silently dropped (Write is unaware of
         the loss, §6.1) and ``inf`` is returned.
+
+        Under a lossy PHY plane (``world.phy``) each frame is also
+        registered on the air for its transmit window; the plane decides
+        its fate at the delivery instant.  A PHY-lost frame counts in
+        ``frames_lost`` but does *not* down the link — the carrier
+        survives a faded frame, which is exactly what gives
+        :class:`~repro.core.buffering.ReliableChannel` retransmissions
+        something real to recover from.
         """
         receiver = self.peer_of(sender)
         if not self._open:
@@ -130,13 +138,20 @@ class Link:
         start = max(self.sim.now, self._busy_until[sender])
         delivery_time = start + self.tech.transmit_time(size_bytes)
         self._busy_until[sender] = delivery_time
+        phy = getattr(self.world, "phy", None)
+        phy_tx = None
+        if phy is not None:
+            phy_tx = phy.begin(sender, receiver, size_bytes, kind="frame",
+                               tech=self.tech, started_at=start,
+                               ends_at=delivery_time)
         delay = delivery_time - self.sim.now
         timer = self.sim.timeout(delay)
         timer._add_callback(
-            lambda _event: self._deliver(receiver, payload))
+            lambda _event: self._deliver(receiver, payload, phy_tx))
         return delivery_time
 
-    def _deliver(self, receiver: str, payload: object) -> None:
+    def _deliver(self, receiver: str, payload: object,
+                 phy_tx: object | None = None) -> None:
         if not self._open:
             self.frames_lost += 1
             return
@@ -146,6 +161,12 @@ class Link:
             self.frames_lost += 1
             self._break()
             return
+        if phy_tx is not None:
+            phy = getattr(self.world, "phy", None)
+            if phy is not None and not phy.resolve(phy_tx):
+                # Faded or collided at the receiver: frame lost, link up.
+                self.frames_lost += 1
+                return
         self.frames_delivered += 1
         self._inboxes[receiver].put(payload)
 

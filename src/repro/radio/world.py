@@ -95,6 +95,11 @@ class World:
         #: :class:`repro.faults.FaultPlane`; stays ``None`` on a
         #: fault-free world — zero-rate configs never touch it).
         self.faults = None
+        #: Installed lossy PHY plane, if any (set by
+        #: :class:`repro.radio.phy.PhyPlane`; stays ``None`` on a
+        #: lossless world — the all-zero configuration runs the literal
+        #: pre-PHY code path, byte-identical to the binary-range model).
+        self.phy = None
         #: Attached telemetry recorder, if any (set by
         #: :class:`repro.obs.Telemetry`; stays ``None`` when no recorder
         #: observes this world — producers check before every hook call).

@@ -25,6 +25,7 @@ arena scenario).
 from repro.scenarios.bandwidth import (
     crowded_festival,
     drive_by_kiosk,
+    lossy_festival,
     rural_bus_dtn,
 )
 from repro.scenarios.builder import Scenario
@@ -80,6 +81,7 @@ __all__ = [
     "hostile_corridor",
     "island_hopping_ferry",
     "line_topology",
+    "lossy_festival",
     "random_disc",
     "replay_arena",
     "rural_bus_dtn",

@@ -33,6 +33,7 @@ import typing
 from repro.faults import install_scenario_faults
 from repro.mobility.linear import PathMovement
 from repro.mobility.waypoint import RandomWaypoint
+from repro.radio.phy import install_scenario_phy
 from repro.radio.technologies import get_technology
 from repro.scenarios.builder import Scenario
 
@@ -46,6 +47,9 @@ def drive_by_kiosk(count: int = 6, road_length_m: float = 300.0,
                    byzantine_rate: float = 0.0,
                    jammer_count: int = 0,
                    fault_window_s: float = 480.0,
+                   shadowing_sigma_db: float = 0.0,
+                   phy_collisions: int = 0,
+                   capture_margin_db: float = 6.0,
                    seed: int = 0,
                    technologies: typing.Sequence[str] = ("bluetooth",),
                    ) -> Scenario:
@@ -101,6 +105,10 @@ def drive_by_kiosk(count: int = 6, road_length_m: float = 300.0,
         byzantine_rate=byzantine_rate, jammer_count=jammer_count,
         fault_window_s=fault_window_s,
         area=(road_length_m, 2 * lane_offset_m + 10.0))
+    install_scenario_phy(
+        scenario, shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db)
     return scenario
 
 
@@ -113,6 +121,9 @@ def crowded_festival(count: int = 18, area: float = 40.0,
                      byzantine_rate: float = 0.0,
                      jammer_count: int = 0,
                      fault_window_s: float = 480.0,
+                     shadowing_sigma_db: float = 0.0,
+                     phy_collisions: int = 0,
+                     capture_margin_db: float = 6.0,
                      seed: int = 0,
                      technologies: typing.Sequence[str] = ("bluetooth",),
                      ) -> Scenario:
@@ -145,7 +156,49 @@ def crowded_festival(count: int = 18, area: float = 40.0,
         radio_fault_rate=radio_fault_rate,
         byzantine_rate=byzantine_rate, jammer_count=jammer_count,
         fault_window_s=fault_window_s, area=(area, area))
+    install_scenario_phy(
+        scenario, shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db)
     return scenario
+
+
+def lossy_festival(count: int = 18, area: float = 40.0,
+                   speed_range: tuple[float, float] = (0.4, 1.5),
+                   pause_range: tuple[float, float] = (0.0, 15.0),
+                   crash_rate: float = 0.0,
+                   crash_downtime_s: float = 45.0,
+                   radio_fault_rate: float = 0.0,
+                   byzantine_rate: float = 0.0,
+                   jammer_count: int = 0,
+                   fault_window_s: float = 480.0,
+                   shadowing_sigma_db: float = 6.0,
+                   phy_collisions: int = 1,
+                   capture_margin_db: float = 6.0,
+                   seed: int = 0,
+                   technologies: typing.Sequence[str] = ("bluetooth",),
+                   ) -> Scenario:
+    """:func:`crowded_festival` under a default lossy PHY profile.
+
+    Pure delegation — the geometry, mobility streams and fault knobs
+    are exactly the festival's, so a ``lossy_festival`` with
+    ``shadowing_sigma_db=0, phy_collisions=0`` builds a byte-identical
+    world to ``crowded_festival``.  The defaults turn both loss sources
+    on (6 dB shadowing, collision/capture), which is the regime where
+    epidemic's flooding starts costing it deliveries
+    (``benchmarks/bench_phy.py`` gates on it).
+    """
+    return crowded_festival(
+        count=count, area=area, speed_range=speed_range,
+        pause_range=pause_range, crash_rate=crash_rate,
+        crash_downtime_s=crash_downtime_s,
+        radio_fault_rate=radio_fault_rate,
+        byzantine_rate=byzantine_rate, jammer_count=jammer_count,
+        fault_window_s=fault_window_s,
+        shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db,
+        seed=seed, technologies=technologies)
 
 
 def rural_bus_dtn(count: int = 9, villages: int = 3,
@@ -159,6 +212,9 @@ def rural_bus_dtn(count: int = 9, villages: int = 3,
                   byzantine_rate: float = 0.0,
                   jammer_count: int = 0,
                   fault_window_s: float = 480.0,
+                  shadowing_sigma_db: float = 0.0,
+                  phy_collisions: int = 0,
+                  capture_margin_db: float = 6.0,
                   seed: int = 0,
                   technologies: typing.Sequence[str] = ("bluetooth",),
                   ) -> Scenario:
@@ -220,4 +276,8 @@ def rural_bus_dtn(count: int = 9, villages: int = 3,
         fault_window_s=fault_window_s,
         area=((villages - 1) * village_spacing_m + 2 * village_radius_m,
               4 * village_radius_m))
+    install_scenario_phy(
+        scenario, shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db)
     return scenario

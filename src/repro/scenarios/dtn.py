@@ -33,6 +33,7 @@ import typing
 from repro.faults import install_scenario_faults
 from repro.mobility.linear import PathMovement
 from repro.mobility.waypoint import RandomWaypoint
+from repro.radio.phy import install_scenario_phy
 from repro.scenarios.builder import Scenario
 
 
@@ -46,6 +47,9 @@ def commuter_corridor(count: int = 10, length_m: float = 120.0,
                       byzantine_rate: float = 0.0,
                       jammer_count: int = 0,
                       fault_window_s: float = 480.0,
+                      shadowing_sigma_db: float = 0.0,
+                      phy_collisions: int = 0,
+                      capture_margin_db: float = 6.0,
                       seed: int = 0,
                       technologies: typing.Sequence[str] = ("bluetooth",),
                       ) -> Scenario:
@@ -86,6 +90,10 @@ def commuter_corridor(count: int = 10, length_m: float = 120.0,
         radio_fault_rate=radio_fault_rate,
         byzantine_rate=byzantine_rate, jammer_count=jammer_count,
         fault_window_s=fault_window_s, area=(length_m, width_m))
+    install_scenario_phy(
+        scenario, shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db)
     return scenario
 
 
@@ -100,6 +108,9 @@ def island_hopping_ferry(count: int = 9, islands: int = 3,
                          byzantine_rate: float = 0.0,
                          jammer_count: int = 0,
                          fault_window_s: float = 480.0,
+                         shadowing_sigma_db: float = 0.0,
+                         phy_collisions: int = 0,
+                         capture_margin_db: float = 6.0,
                          seed: int = 0,
                          technologies: typing.Sequence[str] = (
                              "bluetooth",),
@@ -162,6 +173,10 @@ def island_hopping_ferry(count: int = 9, islands: int = 3,
         fault_window_s=fault_window_s,
         area=((islands - 1) * island_spacing_m + 2 * island_radius_m,
               4 * island_radius_m))
+    install_scenario_phy(
+        scenario, shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db)
     return scenario
 
 
@@ -174,6 +189,9 @@ def flash_crowd_broadcast(count: int = 24, area: float = 60.0,
                           byzantine_rate: float = 0.0,
                           jammer_count: int = 0,
                           fault_window_s: float = 480.0,
+                          shadowing_sigma_db: float = 0.0,
+                          phy_collisions: int = 0,
+                          capture_margin_db: float = 6.0,
                           seed: int = 0,
                           technologies: typing.Sequence[str] = (
                               "bluetooth",),
@@ -207,4 +225,8 @@ def flash_crowd_broadcast(count: int = 24, area: float = 60.0,
         radio_fault_rate=radio_fault_rate,
         byzantine_rate=byzantine_rate, jammer_count=jammer_count,
         fault_window_s=fault_window_s, area=(area, area))
+    install_scenario_phy(
+        scenario, shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db)
     return scenario

@@ -34,6 +34,9 @@ def hostile_corridor(count: int = 10, length_m: float = 120.0,
                      byzantine_rate: float = 0.1,
                      jammer_count: int = 1,
                      fault_window_s: float = 360.0,
+                     shadowing_sigma_db: float = 0.0,
+                     phy_collisions: int = 0,
+                     capture_margin_db: float = 6.0,
                      seed: int = 0,
                      technologies: typing.Sequence[str] = ("bluetooth",),
                      ) -> Scenario:
@@ -51,5 +54,8 @@ def hostile_corridor(count: int = 10, length_m: float = 120.0,
         crash_rate=crash_rate, crash_downtime_s=crash_downtime_s,
         radio_fault_rate=radio_fault_rate,
         byzantine_rate=byzantine_rate, jammer_count=jammer_count,
-        fault_window_s=fault_window_s, seed=seed,
+        fault_window_s=fault_window_s,
+        shadowing_sigma_db=shadowing_sigma_db,
+        phy_collisions=phy_collisions,
+        capture_margin_db=capture_margin_db, seed=seed,
         technologies=technologies)
